@@ -1,0 +1,18 @@
+"""Exp. 2 (Fig. 8) — training time without gradient compression.
+
+Paper claims: LowDiff+ adds only 8.2-10.1% over checkpoint-free training
+and is the fastest checkpointing method; on GPT2-L it cuts training time
+51.8% vs Gemini and 81.7% vs CheckFreq.
+"""
+
+from repro.harness import exp2
+
+
+def test_exp2_lowdiff_plus(benchmark, persist):
+    result = benchmark.pedantic(exp2.run, rounds=1, iterations=1)
+    print(persist(result))
+    for model in ("gpt2_small", "gpt2_large"):
+        ratios = {r["method"]: r["vs_no_ckpt"]
+                  for r in result.rows if r["model"] == model}
+        assert ratios["lowdiff+"] < ratios["gemini"] < ratios["checkfreq"]
+        assert ratios["lowdiff+"] < 1.15

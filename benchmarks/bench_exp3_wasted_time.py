@@ -1,0 +1,18 @@
+"""Exp. 3 (Fig. 9) — wasted time under MTBF in {0.5, 1, 2} hours (GPT2-S).
+
+Paper claims: LowDiff keeps the lowest wasted time at every failure rate
+(its configuration comes from the Eq. (5) optimum); LowDiff+(S) benefits
+from in-memory recovery, LowDiff+(H) pays for its coarser persistence.
+"""
+
+from repro.harness import exp3
+
+
+def test_exp3_wasted_time(benchmark, persist):
+    result = benchmark.pedantic(exp3.run, rounds=1, iterations=1)
+    print(persist(result))
+    for mtbf in (0.5, 1.0, 2.0):
+        rows = {r["method"]: r["wasted_h"]
+                for r in result.rows if r["mtbf_h"] == mtbf}
+        assert rows["lowdiff"] < rows["gemini"]
+        assert rows["lowdiff"] < rows["naive_dc"]

@@ -1,0 +1,18 @@
+"""Exp. 4 (Fig. 10) — maximum checkpointing frequency at <=3.5% slowdown.
+
+Paper claims: LowDiff sustains per-iteration checkpointing on every
+model; LowDiff+(S) per-iteration in memory, LowDiff+(P) within a few
+iterations; Gemini/Naive DC/CheckFreq degrade with model size.
+"""
+
+from repro.harness import exp4
+
+
+def test_exp4_max_frequency(benchmark, persist):
+    result = benchmark.pedantic(exp4.run, rounds=1, iterations=1)
+    print(persist(result))
+    assert all(r["interval_iters"] == 1
+               for r in result.rows if r["method"] == "lowdiff")
+    gpt2l = {r["method"]: r["interval_iters"]
+             for r in result.rows if r["model"] == "gpt2_large"}
+    assert gpt2l["checkfreq"] > 1 and gpt2l["gemini"] > 1

@@ -1,0 +1,58 @@
+"""Exp. 7 (Table II) — per-checkpoint storage overhead.
+
+Paper claims: Naive DC needs ~65.6% of a full checkpoint (dense optimizer
+deltas dominate); LowDiff's reused compressed gradients cut a further
+90.5%.  Our modeled sizes land within ~20% of every cell of the paper's
+table (see EXPERIMENTS.md).
+
+The functional half measures *real serialized files* from the miniature
+training stack and checks the same ordering.
+"""
+
+from repro.baselines import FullCheckpointer, NaiveDCCheckpointer
+from repro.core import CheckpointConfig, LowDiffCheckpointer
+from repro.harness import exp7
+from repro.storage import CheckpointStore, InMemoryBackend
+from tests.helpers import make_mlp_trainer
+
+
+def test_exp7_storage_table(benchmark, persist):
+    result = benchmark.pedantic(exp7.run, rounds=1, iterations=1)
+    print(persist(result))
+    for row in result.rows:
+        if row["paper_bytes"]:
+            assert 0.6 < row["ratio_to_paper"] < 1.4
+
+
+def test_exp7_functional_file_sizes(benchmark):
+    """Real serialized checkpoint files reproduce the ordering."""
+
+    def measure():
+        sizes = {}
+        # Full checkpoints.
+        trainer = make_mlp_trainer(rho=None)
+        store = CheckpointStore(InMemoryBackend())
+        FullCheckpointer(store, every=1).attach(trainer)
+        trainer.run(5)
+        sizes["full"] = store.storage_bytes()["full"] / len(store.fulls())
+        # Naive DC diffs.
+        trainer = make_mlp_trainer(rho=None)
+        store = CheckpointStore(InMemoryBackend())
+        NaiveDCCheckpointer(store, full_every=100, diff_every=1,
+                            rho=0.01).attach(trainer)
+        trainer.run(5)
+        sizes["naive_dc"] = store.storage_bytes()["diff"] / len(store.diffs())
+        # LowDiff diffs.
+        trainer = make_mlp_trainer(rho=0.01)
+        store = CheckpointStore(InMemoryBackend())
+        ckpt = LowDiffCheckpointer(
+            store, CheckpointConfig(full_every_iters=100, batch_size=1))
+        ckpt.attach(trainer)
+        trainer.run(5)
+        ckpt.finalize()
+        sizes["lowdiff"] = store.storage_bytes()["diff"] / len(store.diffs())
+        return sizes
+
+    sizes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert sizes["lowdiff"] < sizes["naive_dc"] < sizes["full"]
+    assert sizes["naive_dc"] > 0.5 * sizes["full"]  # dense optimizer deltas

@@ -1,0 +1,22 @@
+"""Exp. 8 (Fig. 13) — impact of the compression ratio rho on LowDiff's
+achievable checkpoint frequency.
+
+Paper claims: GPT2-S sustains per-iteration checkpointing across the
+whole common range rho in [0.001, 0.1]; GPT2-L is per-iteration up to
+rho=0.075 and drops to every ~2 iterations at rho=0.1.
+"""
+
+from repro.harness import exp8
+
+
+def test_exp8_compression_ratio(benchmark, persist):
+    result = benchmark.pedantic(exp8.run, rounds=1, iterations=1)
+    print(persist(result))
+    small = {r["rho"]: r["interval_iters"]
+             for r in result.rows if r["model"] == "gpt2_small"}
+    assert all(v == 1 for v in small.values())
+    large = {r["rho"]: r["interval_iters"]
+             for r in result.rows if r["model"] == "gpt2_large"}
+    assert large[0.001] == 1
+    assert large[0.1] >= large[0.001]
+    assert large[0.1] <= 4  # still frequent at the range's top end

@@ -1,0 +1,20 @@
+"""Exp. 9 (Fig. 14) — effective training time ratio under frequent
+failures (V100 cluster, MTBF 0.1-5 h).
+
+Paper claims: LowDiff sustains the highest effective ratio at every
+failure rate (92% at MTBF=0.3 h), with LowDiff+ close behind.
+"""
+
+from repro.harness import exp9
+
+
+def test_exp9_frequent_failures(benchmark, persist):
+    result = benchmark.pedantic(exp9.run, rounds=1, iterations=1)
+    print(persist(result))
+    for mtbf in (0.1, 0.3, 1.0, 5.0):
+        rows = {r["method"]: r["effective_ratio"]
+                for r in result.rows if r["mtbf_h"] == mtbf}
+        assert rows["lowdiff"] == max(rows.values())
+    lowdiff = [r["effective_ratio"]
+               for r in result.rows if r["method"] == "lowdiff"]
+    assert lowdiff == sorted(lowdiff)  # improves as failures get rarer

@@ -1,0 +1,18 @@
+"""Fig. 1 — impact of DC computation/transmission frequency on GPT2-L.
+
+Paper claims: differential compression slows training 13-57% and
+differential transmission 12-54%, both monotonically worse as the
+frequency rises from every 8 iterations to every iteration.
+"""
+
+from repro.harness import fig1
+
+
+def test_fig1_dc_overhead(benchmark, persist):
+    result = benchmark.pedantic(fig1.run, rounds=1, iterations=1)
+    print(persist(result))
+    for arm in ("computation", "transmission"):
+        rows = [r for r in result.rows if r["arm"] == arm]
+        slowdowns = [r["slowdown_pct"] for r in rows]
+        assert slowdowns == sorted(slowdowns)
+        assert slowdowns[-1] > 10.0  # per-iteration DC clearly hurts

@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the hot primitives LowDiff's throughput rests on:
+top-k selection, sparse union-add, zero-copy vs copying queue transfer,
+and checkpoint serialization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import TopKCompressor
+from repro.compression.topk import topk_indices
+from repro.core.reusing_queue import ReusingQueue
+from repro.storage.serializer import pack_tree, unpack_tree
+from repro.utils.rng import Rng
+
+N = 200_000
+
+
+@pytest.fixture(scope="module")
+def big_gradient():
+    return {"w": Rng(0).normal(size=(N,))}
+
+
+def test_topk_selection(benchmark, big_gradient):
+    flat = big_gradient["w"]
+    indices = benchmark(topk_indices, flat, N // 100)
+    assert len(indices) == N // 100
+
+
+def test_compress_decompress_roundtrip(benchmark, big_gradient):
+    compressor = TopKCompressor(0.01)
+
+    def roundtrip():
+        return compressor.compress(big_gradient).decompress()
+
+    dense = benchmark(roundtrip)
+    assert dense["w"].shape == (N,)
+
+
+def test_sparse_union_add(benchmark, big_gradient):
+    compressor = TopKCompressor(0.01)
+    rng = Rng(1)
+    a = compressor.compress({"w": rng.normal(size=(N,))})
+    b = compressor.compress({"w": rng.normal(size=(N,))})
+    merged = benchmark(a.add, b)
+    assert merged.num_selected >= a.num_selected
+
+
+def test_queue_zero_copy_throughput(benchmark, big_gradient):
+    payload = TopKCompressor(0.01).compress(big_gradient)
+
+    def transfer():
+        queue = ReusingQueue(copy_mode=False)
+        for index in range(100):
+            queue.put(index, payload)
+        return queue.drain()
+
+    drained = benchmark(transfer)
+    assert len(drained) == 100
+
+
+def test_queue_copy_mode_throughput(benchmark, big_gradient):
+    """The ablation cost: a copying queue does real work per transfer."""
+    payload = TopKCompressor(0.01).compress(big_gradient)
+
+    def transfer():
+        queue = ReusingQueue(copy_mode=True)
+        for index in range(100):
+            queue.put(index, payload)
+        return queue.drain()
+
+    drained = benchmark(transfer)
+    assert len(drained) == 100
+
+
+def test_serializer_pack(benchmark, big_gradient):
+    tree = {"model": big_gradient, "step": 1}
+    data = benchmark(pack_tree, tree)
+    assert len(data) > N * 8
+
+
+def test_serializer_unpack(benchmark, big_gradient):
+    data = pack_tree({"model": big_gradient, "step": 1})
+    tree = benchmark(unpack_tree, data)
+    assert tree["step"] == 1

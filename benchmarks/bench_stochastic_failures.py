@@ -1,0 +1,18 @@
+"""Robustness extension: Exp. 9 under Poisson failures with error bars.
+
+Not a paper figure — it checks that the paper's fixed-MTBF methodology
+didn't manufacture the ordering: LowDiff must lead by more than the
+combined seed-to-seed spread at every failure rate.
+"""
+
+from repro.harness import stochastic
+
+
+def test_stochastic_failures(benchmark, persist):
+    result = benchmark.pedantic(
+        stochastic.run, kwargs=dict(num_seeds=8), rounds=1, iterations=1)
+    print(persist(result))
+    assert stochastic.ordering_is_robust(result, better="lowdiff",
+                                         worse="torch.save")
+    assert stochastic.ordering_is_robust(result, better="lowdiff",
+                                         worse="gemini")

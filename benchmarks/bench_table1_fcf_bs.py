@@ -1,0 +1,15 @@
+"""Table I — normalized wasted time over the (FCF, BS) grid.
+
+Paper claims: the grid bottoms out at FCF=20, BS=2; rows with slow full
+checkpoints (FCF=50/100) prefer larger batches.
+"""
+
+from repro.harness import table1
+
+
+def test_table1_wasted_time_grid(benchmark, persist):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    print(persist(result, "{:.3f}"))
+    values = {(row["fcf"], bs): row[f"bs{bs}"]
+              for row in result.rows for bs in (1, 2, 3, 4, 5, 6)}
+    assert min(values, key=values.get) == (20, 2)

@@ -1,0 +1,32 @@
+"""Benchmark-suite plumbing.
+
+Each ``bench_*`` module regenerates one paper artifact via the harness
+drivers and times the regeneration with pytest-benchmark; the rendered
+table is written to ``benchmarks/results/<experiment>.txt`` so the
+artifacts survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_result(result, float_format: str = "{:.4g}") -> str:
+    """Render and persist an ExperimentResult; returns the text."""
+    from repro.harness.common import render_table
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = render_table(result, float_format)
+    path = os.path.join(RESULTS_DIR, f"{result.experiment}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return text
+
+
+@pytest.fixture
+def persist():
+    return save_result

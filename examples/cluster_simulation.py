@@ -1,0 +1,85 @@
+"""Drive the performance simulator: what would this cost on real A100s?
+
+The functional examples prove the semantics at miniature scale; this one
+runs the paper-scale timing model — GPT2-L (762M parameters) on the
+paper's 8xA100 testbed — and reports per-method training-time overhead
+and effective training ratios under failures, i.e. a compact rerun of
+Exps. 1, 2 and 9.
+
+Run: ``python examples/cluster_simulation.py``
+"""
+
+from repro.sim import (
+    TrainingSim,
+    Workload,
+    fixed_mtbf_schedule,
+    make_strategy,
+    run_with_failures,
+    summarize,
+)
+from repro.sim.cluster import A100_CLUSTER
+from repro.utils.units import format_seconds
+
+
+def training_time_table(rho, methods, title):
+    print(title)
+    workload = Workload.create("gpt2_large", A100_CLUSTER, rho=rho)
+    baseline = None
+    for name, kwargs in methods:
+        strategy = make_strategy(name, **kwargs)
+        result = TrainingSim(workload, strategy).run(1000)
+        if baseline is None:
+            baseline = result.total_time
+        stall_causes = ", ".join(
+            f"{cause}={format_seconds(seconds)}"
+            for cause, seconds in sorted(result.stalls_by_cause.items(),
+                                         key=lambda kv: -kv[1])[:2]
+        ) or "none"
+        print(f"  {name:10s} {format_seconds(result.total_time):>10s} "
+              f"({result.total_time / baseline:5.2f}x)  top stalls: {stall_causes}")
+    print()
+
+
+def main() -> None:
+    training_time_table(
+        0.01,
+        [("w/o ckpt", {}), ("checkfreq", {"every": 1}),
+         ("gemini", {"every": 1}),
+         ("naive_dc", {"full_every": 100, "diff_every": 1}),
+         ("lowdiff", {"full_every": 100, "batch_size": 2})],
+        "1000 iterations of GPT2-L, per-iteration checkpointing, rho=0.01:",
+    )
+    training_time_table(
+        None,
+        [("w/o ckpt", {}), ("checkfreq", {"every": 1}),
+         ("gemini", {"every": 1}), ("lowdiff+", {})],
+        "same, without gradient compression (LowDiff+ territory):",
+    )
+
+    # Deep-dive into where LowDiff's (tiny) overhead goes.
+    workload = Workload.create("gpt2_large", A100_CLUSTER, rho=0.01)
+    result = TrainingSim(workload, make_strategy(
+        "lowdiff", full_every=100, batch_size=2)).run(1000)
+    print(summarize(result, "LowDiff on GPT2-L, per-iteration diffs"))
+    print()
+
+    print("effective training ratio over 24 h, failure every 30 min:")
+    schedule = fixed_mtbf_schedule(1800.0, 24 * 3600.0)
+    for name, kwargs, rho in [
+        ("torch.save", {"every": 50}, 0.01),
+        ("checkfreq", {"every": 10}, 0.01),
+        ("lowdiff", {"full_every": 50, "batch_size": 2}, 0.01),
+        ("lowdiff+", {}, None),
+    ]:
+        workload = Workload.create("gpt2_large", A100_CLUSTER, rho=rho)
+        strategy = make_strategy(name, **kwargs)
+        steady = TrainingSim(workload, strategy).run(300)
+        metrics = run_with_failures(steady, strategy, schedule,
+                                    restart_overhead_s=60.0)
+        print(f"  {name:10s} {metrics.effective_ratio * 100:5.1f}% productive "
+              f"({metrics.num_failures} failures, "
+              f"{format_seconds(metrics.wasted_time_s)} wasted)")
+
+
+if __name__ == "__main__":
+    main()

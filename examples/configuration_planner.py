@@ -1,0 +1,70 @@
+"""Checkpointing-configuration planner for a real training job.
+
+Feeds your cluster's constants into the wasted-time model (Eq. (3)),
+derives the closed-form optimal full-checkpoint frequency and batching
+size (Eq. (5)), shows the surrounding wasted-time grid (the Table I
+experiment for *your* job), and demonstrates the runtime tuner adapting
+when the observed failure rate turns out worse than assumed.
+
+Run: ``python examples/configuration_planner.py``
+"""
+
+from repro.core.config import AdaptiveTuner, CheckpointConfig, WastedTimeModel
+from repro.tensor.models import get_profile
+from repro.utils.units import format_bytes, format_seconds
+
+
+def main() -> None:
+    # --- Your job: GPT2-L on 8 GPUs, 24 h, 1 failure every 2 h. ---------
+    profile = get_profile("gpt2-l")
+    iter_time = profile.iter_time_s
+    model = WastedTimeModel(
+        num_gpus=8,
+        mtbf_s=2 * 3600.0,
+        write_bandwidth=3.0e9,                       # local NVMe
+        full_size_bytes=profile.full_state_bytes,    # 3 Psi fp32
+        total_time_s=24 * 3600.0,
+        load_full_s=6.0,
+        merge_diff_s=0.2,
+    )
+    print(f"workload: {profile.name}, Psi={profile.params/1e6:.0f}M params, "
+          f"full checkpoint {format_bytes(model.full_size_bytes)}")
+
+    # --- Closed-form optimum (Eq. 5). -----------------------------------
+    f_star, b_star = model.optimal()
+    config = model.to_config(iter_time, max_full_every=100_000, max_batch=1000)
+    print(f"Eq.(5) optimum: one full checkpoint every "
+          f"{format_seconds(1 / f_star)} "
+          f"({config.full_every_iters} iterations), batch "
+          f"{config.batch_size} gradients per differential write")
+    print(f"expected wasted GPU-time at the optimum: "
+          f"{format_seconds(model.wasted_time(f_star, b_star))}")
+
+    # --- The local grid (your personal Table I). -------------------------
+    fcf_grid = sorted({max(1, round(config.full_every_iters * k))
+                       for k in (0.25, 0.5, 1.0, 2.0, 4.0)})
+    bs_grid = sorted({max(1, round(config.batch_size * k))
+                      for k in (0.25, 0.5, 1.0, 2.0, 4.0)})
+    grid = model.grid(fcf_grid, bs_grid, iter_time)
+    minimum = min(grid.values())
+    print("\nnormalized wasted time (rows FCF iters, cols batch size):")
+    print("FCF\\BS " + "".join(f"{bs:>8d}" for bs in bs_grid))
+    for fcf in fcf_grid:
+        row = "".join(f"{grid[(fcf, bs)] / minimum:>8.3f}" for bs in bs_grid)
+        print(f"{fcf:>6d} {row}")
+
+    # --- Runtime adaptation: reality is twice as failure-prone. ----------
+    tuner = AdaptiveTuner(model, iter_time, initial=config)
+    for _ in range(6):
+        tuner.observe_failure_gap(model.mtbf_s / 2)   # failures every hour
+    for _ in range(20):
+        tuner.adjust()
+    adapted = tuner.config
+    print(f"\nafter observing MTBF ~{format_seconds(model.mtbf_s / 2)}: "
+          f"tuned to full every {adapted.full_every_iters} iterations, "
+          f"batch {adapted.batch_size}")
+    assert adapted.full_every_iters <= config.full_every_iters  # ckpt more often
+
+
+if __name__ == "__main__":
+    main()

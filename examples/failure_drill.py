@@ -1,0 +1,77 @@
+"""Failure drill: survive a storm of crashes without losing a step.
+
+Uses the functional failure-injection harness to kill the training
+"process" repeatedly; after every crash a brand-new process recovers from
+storage alone and resumes. With per-iteration differential checkpointing
+the job finishes with ZERO re-processed iterations and a final state
+bit-identical to a run that never failed — the strongest functional
+statement of the paper's thesis.
+
+Run: ``python examples/failure_drill.py``
+"""
+
+from repro.core import CheckpointConfig, FailureDrill, default_lowdiff_factory
+from repro.optim import Adam
+from repro.storage import CheckpointStore, InMemoryBackend
+from repro.tensor.models import MLP
+from repro.utils.rng import Rng
+from repro import (
+    CrossEntropyLoss,
+    DataParallelTrainer,
+    SyntheticClassification,
+    TopKCompressor,
+)
+
+TARGET = 60
+CRASHES = [9, 17, 23, 24, 41, 55]
+
+
+def trainer_factory():
+    return DataParallelTrainer(
+        model_builder=lambda rank: MLP(8, [32, 32], 4, rng=Rng(3)),
+        optimizer_builder=lambda model: Adam(model, lr=1e-3),
+        loss_fn=CrossEntropyLoss(),
+        dataset=SyntheticClassification(8, 4, batch_size=8, seed=4),
+        num_workers=2,
+        compressor_builder=lambda: TopKCompressor(0.1),
+    )
+
+
+def main() -> None:
+    # The never-failed reference run.
+    reference = trainer_factory()
+    reference.run(TARGET)
+
+    for batch_size, label in ((1, "per-iteration diffs (BS=1)"),
+                              (4, "batched diffs (BS=4)")):
+        drill = FailureDrill(
+            trainer_factory=trainer_factory,
+            checkpointer_factory=default_lowdiff_factory(
+                CheckpointConfig(full_every_iters=10, batch_size=batch_size)),
+            model_factory=lambda: MLP(8, [32, 32], 4, rng=Rng(0)),
+            optimizer_factory=lambda model: Adam(model, lr=1e-3),
+            store=CheckpointStore(InMemoryBackend()),
+        )
+        report = drill.run(TARGET, crash_at=CRASHES,
+                           reference_state=reference.model_state())
+        print(f"{label}:")
+        print(f"  crashes survived       : {report.failures_injected}")
+        print(f"  iterations executed    : {report.total_iterations_executed} "
+              f"(target {TARGET})")
+        print(f"  iterations re-processed: {report.reprocessed_iterations}")
+        print(f"  final state == never-failed run: "
+              f"{report.final_matches_reference}")
+        print()
+    print("BS=1 loses nothing and stays bit-identical to the never-failed")
+    print("run: every iteration is durable before the crash, and recovery")
+    print("replays each gradient through Adam individually.")
+    print()
+    print("BS=4 re-processes up to BS-1 iterations per crash (the in-flight")
+    print("batch — the b/2 term of Eq. 3) and recovers batched records with")
+    print("one accumulated Adam step each, so the resumed trajectory is a")
+    print("valid but not bitwise-identical continuation. That accuracy/")
+    print("write-cost trade is exactly what the (FCF, BS) optimizer tunes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Language-model training with crash-and-resume on real disk.
+
+Trains a miniature GPT-2 (causal transformer, the paper's flagship
+workload family) with LowDiff writing to a local directory, kills the
+"process" mid-run, then recovers in a completely fresh trainer and
+finishes the job.  The final weights match an uninterrupted run exactly —
+the property that lets frequent checkpointing shrink the wasted time of
+Eq. (3) without perturbing training.
+
+Run: ``python examples/gpt2_failure_recovery.py``
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro import (
+    Adam,
+    CheckpointConfig,
+    CheckpointStore,
+    CrossEntropyLoss,
+    DataParallelTrainer,
+    LocalDiskBackend,
+    LowDiffCheckpointer,
+    MiniGPT2,
+    Rng,
+    SyntheticTokens,
+    TopKCompressor,
+)
+
+TOTAL_ITERS = 40
+CRASH_AT = 23
+
+
+def build_trainer() -> DataParallelTrainer:
+    return DataParallelTrainer(
+        model_builder=lambda rank: MiniGPT2(
+            vocab_size=64, max_len=16, dim=16, num_heads=2, num_layers=2,
+            rng=Rng(11),
+        ),
+        optimizer_builder=lambda model: Adam(model, lr=3e-3),
+        loss_fn=CrossEntropyLoss(),
+        dataset=SyntheticTokens(vocab_size=64, seq_len=8, batch_size=8, seed=5),
+        num_workers=2,
+        compressor_builder=lambda: TopKCompressor(0.05),
+    )
+
+
+def main() -> None:
+    # Reference: the uninterrupted run.
+    reference = build_trainer()
+    reference.run(TOTAL_ITERS)
+
+    with tempfile.TemporaryDirectory() as ckpt_dir:
+        # --- Run 1: trains with LowDiff, then "crashes". ---------------
+        trainer = build_trainer()
+        checkpointer = LowDiffCheckpointer(
+            CheckpointStore(LocalDiskBackend(ckpt_dir)),
+            CheckpointConfig(full_every_iters=10, batch_size=1),
+        )
+        checkpointer.attach(trainer)
+        records = trainer.run(CRASH_AT)
+        checkpointer.finalize()  # flush what reached the queue
+        print(f"run 1: {CRASH_AT} iterations, loss "
+              f"{records[0].loss:.3f} -> {records[-1].loss:.3f}, CRASH")
+        del trainer, checkpointer  # the process is gone
+
+        # --- Run 2: a fresh process recovers from disk and resumes. ----
+        resumed = build_trainer()
+        fresh_store = CheckpointStore(LocalDiskBackend(ckpt_dir))
+        fresh_ckpt = LowDiffCheckpointer(
+            fresh_store, CheckpointConfig(full_every_iters=10, batch_size=1))
+        model = MiniGPT2(vocab_size=64, max_len=16, dim=16, num_heads=2,
+                         num_layers=2, rng=Rng(0))
+        optimizer = Adam(model, lr=3e-3)
+        # Serial recovery replays every differential through Adam exactly;
+        # parallel=True would tree-merge them (log-depth, but with
+        # gradient-accumulation semantics under Adam — see DESIGN.md).
+        result = fresh_ckpt.recover(model, optimizer)
+        print(f"run 2: recovered to step {result.step} "
+              f"(full@{result.full_step} + {result.diffs_loaded} diffs)")
+        resumed.load_state(model.state_dict(), optimizer.state_dict(),
+                           iteration=result.step)
+        tail = resumed.run(TOTAL_ITERS - result.step)
+        print(f"run 2: resumed {len(tail)} iterations, final loss "
+              f"{tail[-1].loss:.3f}")
+
+        # --- The resumed trajectory equals the uninterrupted one. -------
+        live = reference.model_state()
+        recovered = resumed.model_state()
+        drift = max(np.abs(live[name] - recovered[name]).max() for name in live)
+        print(f"max |uninterrupted - resumed| = {drift:.2e}")
+        assert drift == 0.0, "resumed run diverged from the reference"
+        print("resumed run matches the uninterrupted run bit-for-bit")
+
+
+if __name__ == "__main__":
+    main()

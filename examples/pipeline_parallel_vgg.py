@@ -1,0 +1,75 @@
+"""Gradient reuse under pipeline parallelism (Exp. 1's VGG-16 arm).
+
+Trains a miniature VGG split into pipeline stages with a GPipe microbatch
+schedule, reuses the compressed gradients as differential checkpoints,
+crashes, and recovers — demonstrating that LowDiff's core mechanism is
+orthogonal to the parallelism strategy (the paper's closing observation
+in Exp. 1).
+
+Run: ``python examples/pipeline_parallel_vgg.py``
+"""
+
+import numpy as np
+
+from repro import (
+    Adam,
+    CheckpointStore,
+    CrossEntropyLoss,
+    InMemoryBackend,
+    MiniVGG,
+    PipelineParallelTrainer,
+    Rng,
+    SyntheticImages,
+    TopKCompressor,
+)
+from repro.core.batched_writer import BatchedGradientWriter
+from repro.core.recovery import serial_recover
+
+
+def build_model():
+    return MiniVGG(num_classes=10, base_channels=8, stages=(1, 1),
+                   image_size=8, rng=Rng(12))
+
+
+def main() -> None:
+    model = build_model()
+    pipeline = PipelineParallelTrainer(
+        model=model,
+        optimizer=Adam(model, lr=1e-3),
+        loss_fn=CrossEntropyLoss(),
+        dataset=SyntheticImages(image_size=8, batch_size=8, seed=6),
+        num_stages=3,
+        num_microbatches=4,
+        compressor=TopKCompressor(0.05),
+    )
+    print(f"pipeline: {len(pipeline.stages)} stages, "
+          f"{[len(s.layers) for s in pipeline.stages]} layers per stage, "
+          f"{pipeline.num_microbatches} microbatches")
+
+    # Checkpoint via the same reuse machinery the data-parallel path uses.
+    store = CheckpointStore(InMemoryBackend())
+    store.save_full(0, pipeline.model_state(), pipeline.optimizer_state())
+    writer = BatchedGradientWriter(store, batch_size=1)
+    pipeline.register_synced_gradient_hook(
+        lambda iteration, payload: writer.submit(iteration + 1, payload))
+
+    records = pipeline.run(20)
+    writer.flush()
+    print(f"trained 20 iterations, loss {records[0].loss:.3f} -> "
+          f"{records[-1].loss:.3f}; {writer.writes} differential writes")
+
+    # Crash and recover into a fresh model.
+    fresh = build_model()
+    optimizer = Adam(fresh, lr=1e-3)
+    result = serial_recover(store, fresh, optimizer)
+    live = pipeline.model_state()
+    drift = max(np.abs(live[k] - fresh.state_dict()[k]).max() for k in live)
+    print(f"recovered to step {result.step}; max drift from live state: "
+          f"{drift:.2e}")
+    assert drift == 0.0
+    print("pipeline-parallel training recovered bit-exactly from reused "
+          "compressed gradients")
+
+
+if __name__ == "__main__":
+    main()

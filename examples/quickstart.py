@@ -1,0 +1,78 @@
+"""Quickstart: train with LowDiff, crash, recover — bit-exactly.
+
+Runs a tiny data-parallel training job with per-iteration differential
+checkpointing (reused compressed gradients), simulates a crash, restores
+a fresh model from the checkpoint series, and verifies the recovered
+state equals the live state bit-for-bit.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import numpy as np
+
+from repro import (
+    Adam,
+    CheckpointConfig,
+    CheckpointStore,
+    CrossEntropyLoss,
+    DataParallelTrainer,
+    InMemoryBackend,
+    LowDiffCheckpointer,
+    MLP,
+    Rng,
+    SyntheticClassification,
+    TopKCompressor,
+)
+
+
+def main() -> None:
+    # 1. A data-parallel training job: 2 workers, top-k gradient
+    #    compression at rho=0.1 (the payload LowDiff will reuse).
+    trainer = DataParallelTrainer(
+        model_builder=lambda rank: MLP(8, [32, 32], 4, rng=Rng(7)),
+        optimizer_builder=lambda model: Adam(model, lr=1e-3),
+        loss_fn=CrossEntropyLoss(),
+        dataset=SyntheticClassification(8, 4, batch_size=8, seed=3),
+        num_workers=2,
+        compressor_builder=lambda: TopKCompressor(0.1),
+    )
+
+    # 2. LowDiff: full checkpoint every 10 iterations, per-iteration
+    #    differential checkpoints (the synchronized compressed gradients),
+    #    batched in pairs before hitting storage.
+    store = CheckpointStore(InMemoryBackend())
+    checkpointer = LowDiffCheckpointer(
+        store, CheckpointConfig(full_every_iters=10, batch_size=1)
+    )
+    checkpointer.attach(trainer)
+
+    # 3. Train. Every iteration is checkpointed; training never waits for
+    #    differential compression (there is none — gradients are reused).
+    records = trainer.run(37)
+    checkpointer.finalize()
+    print(f"trained 37 iterations, loss {records[0].loss:.3f} -> "
+          f"{records[-1].loss:.3f}")
+    stats = checkpointer.stats()
+    print(f"checkpoints: {stats['full_checkpoints']} full, "
+          f"{stats['diff_writes']} differential writes "
+          f"({stats['gradients_submitted']} gradients)")
+    sizes = stats["storage_bytes"]
+    print(f"storage: full={sizes['full']:,} B, diff={sizes['diff']:,} B")
+
+    # 4. Crash! A brand-new process recovers from storage alone.
+    model = MLP(8, [32, 32], 4, rng=Rng(99))   # different init on purpose
+    optimizer = Adam(model, lr=1e-3)
+    result = checkpointer.recover(model, optimizer)
+    print(f"recovered to step {result.step} "
+          f"(full@{result.full_step} + {result.diffs_loaded} diffs)")
+
+    # 5. Bit-exact: the recovered state equals the live one.
+    live = trainer.model_state()
+    recovered = model.state_dict()
+    exact = all(np.array_equal(live[name], recovered[name]) for name in live)
+    print(f"bit-exact recovery: {exact}")
+    assert exact
+
+
+if __name__ == "__main__":
+    main()

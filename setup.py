@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This offline environment lacks the ``wheel`` package, so modern (PEP 660)
+editable installs fail; keeping a ``setup.py`` lets ``pip install -e .``
+use the legacy ``develop`` path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,139 @@
+"""LowDiff: efficient frequent checkpointing via low-cost differentials.
+
+Reproduction of Yao et al., "LowDiff: Efficient Frequent Checkpointing via
+Low-Cost Differential for High-Performance Distributed Training Systems"
+(SC 2025).
+
+Quick tour
+----------
+>>> from repro import (
+...     MLP, Adam, CrossEntropyLoss, TopKCompressor,
+...     DataParallelTrainer, SyntheticClassification,
+...     CheckpointStore, InMemoryBackend,
+...     LowDiffCheckpointer, CheckpointConfig, Rng,
+... )
+>>> trainer = DataParallelTrainer(
+...     model_builder=lambda rank: MLP(8, [16], 4, rng=Rng(7)),
+...     optimizer_builder=lambda model: Adam(model, lr=1e-3),
+...     loss_fn=CrossEntropyLoss(),
+...     dataset=SyntheticClassification(8, 4, batch_size=4, seed=3),
+...     num_workers=2,
+...     compressor_builder=lambda: TopKCompressor(0.1),
+... )
+>>> ckpt = LowDiffCheckpointer(
+...     CheckpointStore(InMemoryBackend()),
+...     CheckpointConfig(full_every_iters=10, batch_size=2),
+... )
+>>> ckpt.attach(trainer)
+>>> _ = trainer.run(25)
+>>> ckpt.finalize()
+
+Subpackages
+-----------
+``repro.tensor``       NumPy DNN substrate (modules, layers, models)
+``repro.optim``        Adam/SGD with replayable state
+``repro.compression``  top-k / random-k / threshold / QSGD compressors
+``repro.distributed``  simulated data-parallel + pipeline-parallel training
+``repro.storage``      checkpoint serialization, backends, store
+``repro.core``         LowDiff / LowDiff+ (the paper's contribution)
+``repro.baselines``    torch.save / CheckFreq / Gemini / Naive DC
+``repro.sim``          performance simulator of the paper's testbed
+``repro.harness``      one driver per paper table/figure
+"""
+
+__version__ = "1.0.0"
+
+from repro.utils.rng import Rng
+from repro.tensor.models import (
+    MLP,
+    MiniResNet,
+    MiniVGG,
+    MiniGPT2,
+    MiniBERT,
+    build_mini_model,
+    get_profile,
+)
+from repro.tensor.loss import CrossEntropyLoss, MSELoss
+from repro.optim import Adam, SGD
+from repro.compression import (
+    TopKCompressor,
+    RandomKCompressor,
+    ThresholdCompressor,
+    QSGDCompressor,
+    ErrorFeedbackCompressor,
+    IdentityCompressor,
+    SparseGradient,
+)
+from repro.distributed import (
+    DataParallelTrainer,
+    PipelineParallelTrainer,
+    SyntheticClassification,
+    SyntheticImages,
+    SyntheticTokens,
+    SyntheticRegression,
+)
+from repro.storage import (
+    CheckpointStore,
+    InMemoryBackend,
+    LocalDiskBackend,
+    ThrottledBackend,
+)
+from repro.core import (
+    LowDiffCheckpointer,
+    LowDiffPlusCheckpointer,
+    CheckpointConfig,
+    WastedTimeModel,
+    optimal_configuration,
+    serial_recover,
+    parallel_recover,
+)
+from repro.baselines import (
+    FullCheckpointer,
+    CheckFreqCheckpointer,
+    GeminiCheckpointer,
+    NaiveDCCheckpointer,
+)
+
+__all__ = [
+    "__version__",
+    "Rng",
+    "MLP",
+    "MiniResNet",
+    "MiniVGG",
+    "MiniGPT2",
+    "MiniBERT",
+    "build_mini_model",
+    "get_profile",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "Adam",
+    "SGD",
+    "TopKCompressor",
+    "RandomKCompressor",
+    "ThresholdCompressor",
+    "QSGDCompressor",
+    "ErrorFeedbackCompressor",
+    "IdentityCompressor",
+    "SparseGradient",
+    "DataParallelTrainer",
+    "PipelineParallelTrainer",
+    "SyntheticClassification",
+    "SyntheticImages",
+    "SyntheticTokens",
+    "SyntheticRegression",
+    "CheckpointStore",
+    "InMemoryBackend",
+    "LocalDiskBackend",
+    "ThrottledBackend",
+    "LowDiffCheckpointer",
+    "LowDiffPlusCheckpointer",
+    "CheckpointConfig",
+    "WastedTimeModel",
+    "optimal_configuration",
+    "serial_recover",
+    "parallel_recover",
+    "FullCheckpointer",
+    "CheckFreqCheckpointer",
+    "GeminiCheckpointer",
+    "NaiveDCCheckpointer",
+]

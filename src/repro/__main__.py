@@ -1,0 +1,98 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print the package inventory: model profiles, cluster specs, method
+    registry.
+``experiments [names...] [--markdown]``
+    Regenerate paper artifacts (delegates to ``repro.harness.runall``).
+``claims``
+    Verify every encoded paper claim against a fresh harness run.
+``quickstart``
+    Run the train → crash → bit-exact-recovery demo inline.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def cmd_info() -> int:
+    from repro import __version__
+    from repro.sim.cluster import A100_CLUSTER, V100_CLUSTER
+    from repro.tensor.models import MODEL_PROFILES
+    from repro.utils.units import format_bytes
+
+    print(f"repro {__version__} — LowDiff (SC 2025) reproduction\n")
+    print("model profiles (paper workloads):")
+    for profile in MODEL_PROFILES.values():
+        print(f"  {profile.name:12s} {profile.dataset:12s} "
+              f"Psi={profile.params/1e6:7.1f}M  "
+              f"full ckpt {format_bytes(profile.full_state_bytes):>10s}  "
+              f"iter {profile.iter_time_s*1e3:5.0f} ms")
+    print("\nsimulated clusters:")
+    for cluster in (A100_CLUSTER, V100_CLUSTER):
+        print(f"  {cluster.name:6s} {cluster.num_gpus} GPUs "
+              f"({cluster.num_nodes}x{cluster.gpus_per_node}), "
+              f"net {cluster.network_bandwidth/1e9:.2f} GB/s, "
+              f"PCIe {cluster.pcie_bandwidth/1e9:.0f} GB/s, "
+              f"SSD {cluster.ssd_write_bandwidth/1e9:.1f} GB/s write")
+    print("\ncheckpointing methods: torch.save, checkfreq, gemini, "
+          "naive_dc, lowdiff, lowdiff+")
+    print("experiments: fig1 table1 exp1..exp10 "
+          "(python -m repro experiments <name>)")
+    return 0
+
+
+def cmd_experiments(argv: list[str]) -> int:
+    from repro.harness.runall import main as runall_main
+    return runall_main(argv)
+
+
+def cmd_claims() -> int:
+    from repro.harness.claims import render_report, verify_all
+    outcomes = verify_all()
+    print(render_report(outcomes))
+    return 0 if all(o.as_expected for o in outcomes) else 1
+
+
+def cmd_quickstart() -> int:
+    import importlib.util
+    import os
+
+    path = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))), "examples",
+        "quickstart.py")
+    if os.path.exists(path):
+        spec = importlib.util.spec_from_file_location("quickstart", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        return 0
+    print("examples/quickstart.py not found next to the package; "
+          "run it from a source checkout", file=sys.stderr)
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "info":
+        return cmd_info()
+    if command == "experiments":
+        return cmd_experiments(rest)
+    if command == "claims":
+        return cmd_claims()
+    if command == "quickstart":
+        return cmd_quickstart()
+    print(f"unknown command {command!r}; try: info, experiments, claims, quickstart",
+          file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

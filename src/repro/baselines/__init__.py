@@ -1,0 +1,27 @@
+"""Baseline checkpointing strategies the paper evaluates against.
+
+All four share the LowDiff checkpointer's ``attach``/``recover`` surface
+so the examples, integration tests, and storage accounting can swap
+strategies freely:
+
+* :class:`FullCheckpointer` — ``torch.save``-style periodic full
+  checkpoints (the paper's "Baseline");
+* :class:`CheckFreqCheckpointer` — decoupled snapshot + pipelined
+  asynchronous persist (Mohan et al., FAST'21);
+* :class:`GeminiCheckpointer` — per-iteration checkpoints to a CPU-memory
+  tier with periodic persistence to storage (Wang et al., SOSP'23);
+* :class:`NaiveDCCheckpointer` — Check-N-Run-style differential
+  checkpointing computed from state deltas (Eisenman et al., NSDI'22).
+"""
+
+from repro.baselines.full_checkpoint import FullCheckpointer
+from repro.baselines.checkfreq import CheckFreqCheckpointer
+from repro.baselines.gemini import GeminiCheckpointer
+from repro.baselines.naive_dc import NaiveDCCheckpointer
+
+__all__ = [
+    "FullCheckpointer",
+    "CheckFreqCheckpointer",
+    "GeminiCheckpointer",
+    "NaiveDCCheckpointer",
+]

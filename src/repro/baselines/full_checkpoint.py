@@ -1,0 +1,54 @@
+"""Periodic full checkpointing — the ``torch.save`` baseline.
+
+Blocks training for the full duration of serialize+write (no snapshot
+decoupling, no differentials); the strategy Exp. 5's "Baseline" and the
+effective-ratio experiments compare against.
+"""
+
+from __future__ import annotations
+
+from repro.core.recovery import RecoveryResult, serial_recover
+from repro.optim.optimizer import Optimizer
+from repro.storage.checkpoint_store import CheckpointStore
+from repro.tensor.module import Module
+
+
+class FullCheckpointer:
+    """Save the complete model+optimizer state every ``every`` iterations."""
+
+    def __init__(self, store: CheckpointStore, every: int = 10):
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.store = store
+        self.every = int(every)
+        self.full_checkpoints = 0
+        self._trainer = None
+
+    def attach(self, trainer) -> None:
+        self._trainer = trainer
+        self.store.save_full(0, trainer.model_state(), trainer.optimizer_state())
+        self.full_checkpoints += 1
+        trainer.register_post_update_hook(self._on_post_update)
+
+    def _on_post_update(self, iteration: int) -> None:
+        step = iteration + 1
+        if step % self.every == 0:
+            # Synchronous: the training loop waits for the write — the
+            # stall CheckFreq was designed to remove.
+            self.store.save_full(
+                step, self._trainer.model_state(), self._trainer.optimizer_state()
+            )
+            self.full_checkpoints += 1
+
+    def finalize(self) -> None:
+        pass
+
+    def recover(self, model: Module, optimizer: Optimizer,
+                parallel: bool = False) -> RecoveryResult:
+        return serial_recover(self.store, model, optimizer)
+
+    def stats(self) -> dict:
+        return {
+            "full_checkpoints": self.full_checkpoints,
+            "storage_bytes": self.store.storage_bytes(),
+        }

@@ -1,0 +1,39 @@
+"""Gradient compression (paper §II-C).
+
+Sparsification (top-k / random-k / threshold) and quantization (uniform /
+QSGD) over named gradient dicts, plus the sparse container algebra
+(union-add, scale) that gradient synchronization, batched differential
+writing, and recovery all build on.
+"""
+
+from repro.compression.base import (
+    Compressor,
+    IdentityCompressor,
+    CompressedGradient,
+    DenseGradient,
+)
+from repro.compression.sparse import SparseGradient
+from repro.compression.topk import TopKCompressor
+from repro.compression.randomk import RandomKCompressor
+from repro.compression.threshold import ThresholdCompressor
+from repro.compression.quantization import (
+    QuantizedGradient,
+    UniformQuantizer,
+    QSGDCompressor,
+)
+from repro.compression.error_feedback import ErrorFeedbackCompressor
+
+__all__ = [
+    "Compressor",
+    "IdentityCompressor",
+    "CompressedGradient",
+    "DenseGradient",
+    "SparseGradient",
+    "TopKCompressor",
+    "RandomKCompressor",
+    "ThresholdCompressor",
+    "QuantizedGradient",
+    "UniformQuantizer",
+    "QSGDCompressor",
+    "ErrorFeedbackCompressor",
+]

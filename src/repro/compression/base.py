@@ -1,0 +1,103 @@
+"""Compressor interface and the dense (identity) case.
+
+A compressor maps a *named gradient dict* ``{param_name: ndarray}`` to a
+:class:`CompressedGradient` payload and back.  Payloads know their own
+wire size (``nbytes``) — the quantity the batched writer, the storage
+accounting (Exp. 7) and the simulator all consume — and support the
+algebra LowDiff needs: ``add`` (gradient accumulation for batched writes,
+paper §IV-B) and ``scale`` (averaging across workers).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class CompressedGradient(Protocol):
+    """Protocol for compressed payloads (sparse, quantized, or dense)."""
+
+    def decompress(self) -> dict[str, np.ndarray]:
+        """Reconstruct dense named gradients."""
+        ...
+
+    def add(self, other: "CompressedGradient") -> "CompressedGradient":
+        """Accumulate another payload (same parameter space)."""
+        ...
+
+    def scale(self, factor: float) -> "CompressedGradient":
+        """Return the payload scaled by ``factor``."""
+        ...
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized wire/storage size in bytes."""
+        ...
+
+
+class DenseGradient:
+    """Uncompressed named gradients — the identity payload.
+
+    Also the output format of ``LowDiff+``'s layer-wise reuse path, where
+    gradients travel raw (no compression) and size is the full ``Psi``.
+    """
+
+    __slots__ = ("tensors",)
+
+    def __init__(self, tensors: dict[str, np.ndarray]):
+        self.tensors = {
+            name: np.asarray(value, dtype=np.float64)
+            for name, value in tensors.items()
+        }
+
+    def decompress(self) -> dict[str, np.ndarray]:
+        return {name: value.copy() for name, value in self.tensors.items()}
+
+    def add(self, other: "DenseGradient") -> "DenseGradient":
+        if set(self.tensors) != set(other.tensors):
+            raise KeyError("cannot add DenseGradients over different parameters")
+        return DenseGradient(
+            {name: self.tensors[name] + other.tensors[name] for name in self.tensors}
+        )
+
+    def scale(self, factor: float) -> "DenseGradient":
+        return DenseGradient(
+            {name: value * factor for name, value in self.tensors.items()}
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return sum(value.nbytes for value in self.tensors.values())
+
+    @property
+    def num_elements(self) -> int:
+        return sum(value.size for value in self.tensors.values())
+
+
+class Compressor:
+    """Base compressor; subclasses implement :meth:`compress`."""
+
+    def compress(self, named_grads: dict[str, np.ndarray]) -> CompressedGradient:
+        raise NotImplementedError
+
+    def decompress(self, payload: CompressedGradient) -> dict[str, np.ndarray]:
+        """Inverse transform; default delegates to the payload."""
+        return payload.decompress()
+
+    @property
+    def ratio(self) -> float:
+        """Nominal compression ratio rho (1.0 for identity)."""
+        return 1.0
+
+
+class IdentityCompressor(Compressor):
+    """No-op compressor: the non-compression scenario of LowDiff+ (§V)."""
+
+    def compress(self, named_grads: dict[str, np.ndarray]) -> DenseGradient:
+        return DenseGradient({k: v.copy() for k, v in named_grads.items()})
+
+    @property
+    def ratio(self) -> float:
+        return 1.0

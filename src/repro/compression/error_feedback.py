@@ -1,0 +1,50 @@
+"""Error-feedback (memory-compensated) compression wrapper.
+
+Sparsification discards most coordinates each step; error feedback (Stich
+et al., "Sparsified SGD with Memory") adds the discarded residual back
+into the next gradient before compressing, which is what production
+top-k training stacks do to keep convergence.  LowDiff is agnostic to the
+wrapper — the reused payload is whatever the compressor emits — so this
+lives here to make the functional training loop realistic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedGradient, Compressor
+
+
+class ErrorFeedbackCompressor(Compressor):
+    """Wrap ``inner`` with a per-tensor residual memory."""
+
+    def __init__(self, inner: Compressor):
+        self.inner = inner
+        self._residual: dict[str, np.ndarray] = {}
+
+    def compress(self, named_grads: dict[str, np.ndarray]) -> CompressedGradient:
+        corrected = {}
+        for name, grad in named_grads.items():
+            grad = np.asarray(grad, dtype=np.float64)
+            residual = self._residual.get(name)
+            corrected[name] = grad if residual is None else grad + residual
+        payload = self.inner.compress(corrected)
+        reconstructed = payload.decompress()
+        for name, grad in corrected.items():
+            self._residual[name] = grad - reconstructed[name]
+        return payload
+
+    def reset(self) -> None:
+        """Drop the residual memory (e.g. after recovery from failure)."""
+        self._residual.clear()
+
+    def residual_norm(self) -> float:
+        """L2 norm of the accumulated residual, for diagnostics/tests."""
+        total = 0.0
+        for residual in self._residual.values():
+            total += float((residual**2).sum())
+        return float(np.sqrt(total))
+
+    @property
+    def ratio(self) -> float:
+        return self.inner.ratio

@@ -1,0 +1,120 @@
+"""Gradient quantization: uniform fixed-point and QSGD (Alistarh et al.).
+
+Quantized payloads store one ``uint8``/``uint16`` level per coordinate
+plus a per-tensor scale — the paper's second compression family (§II-C).
+``add`` dequantizes, sums, and requantizes (quantization is not closed
+under addition), which the batched-writer tests exercise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import Compressor
+from repro.utils.rng import Rng
+
+
+class QuantizedGradient:
+    """Per-tensor quantized payload: signed levels + scale per tensor."""
+
+    __slots__ = ("levels", "scales", "shapes", "num_levels")
+
+    def __init__(self, levels: dict[str, np.ndarray], scales: dict[str, float],
+                 shapes: dict[str, tuple], num_levels: int):
+        if not (set(levels) == set(scales) == set(shapes)):
+            raise KeyError("levels/scales/shapes must cover the same tensors")
+        if num_levels < 1:
+            raise ValueError(f"num_levels must be >= 1, got {num_levels}")
+        self.levels = {k: np.asarray(v, dtype=np.int16) for k, v in levels.items()}
+        self.scales = {k: float(v) for k, v in scales.items()}
+        self.shapes = {k: tuple(v) for k, v in shapes.items()}
+        self.num_levels = int(num_levels)
+
+    def decompress(self) -> dict[str, np.ndarray]:
+        dense = {}
+        for name, levels in self.levels.items():
+            scale = self.scales[name]
+            dense[name] = (
+                levels.astype(np.float64) * (scale / self.num_levels)
+            ).reshape(self.shapes[name])
+        return dense
+
+    def add(self, other: "QuantizedGradient") -> "QuantizedGradient":
+        if self.shapes != other.shapes:
+            raise KeyError("cannot add QuantizedGradients over different tensors")
+        dense_self = self.decompress()
+        dense_other = other.decompress()
+        summed = {k: dense_self[k] + dense_other[k] for k in dense_self}
+        return _quantize_named(summed, self.num_levels)
+
+    def scale(self, factor: float) -> "QuantizedGradient":
+        return QuantizedGradient(
+            self.levels,
+            {k: v * factor for k, v in self.scales.items()},
+            self.shapes,
+            self.num_levels,
+        )
+
+    @property
+    def nbytes(self) -> int:
+        # int16 level per element + one float32 scale per tensor.
+        return sum(l.nbytes for l in self.levels.values()) + 4 * len(self.scales)
+
+
+def _quantize_named(named: dict[str, np.ndarray], num_levels: int,
+                    rng: Rng | None = None) -> QuantizedGradient:
+    levels, scales, shapes = {}, {}, {}
+    for name, tensor in named.items():
+        flat = np.asarray(tensor, dtype=np.float64).reshape(-1)
+        scale = float(np.max(np.abs(flat))) if flat.size else 0.0
+        if scale == 0.0:
+            quantized = np.zeros(flat.shape, dtype=np.int16)
+        else:
+            normalized = flat / scale * num_levels  # in [-num_levels, num_levels]
+            if rng is None:
+                quantized = np.rint(normalized).astype(np.int16)
+            else:
+                floor = np.floor(normalized)
+                prob_up = normalized - floor
+                quantized = (floor + (rng.random(flat.shape) < prob_up)).astype(np.int16)
+        levels[name] = quantized
+        scales[name] = scale
+        shapes[name] = tensor.shape
+    return QuantizedGradient(levels, scales, shapes, num_levels)
+
+
+class UniformQuantizer(Compressor):
+    """Deterministic uniform quantization to ``2*num_levels + 1`` levels."""
+
+    def __init__(self, num_levels: int = 127):
+        if num_levels < 1:
+            raise ValueError(f"num_levels must be >= 1, got {num_levels}")
+        self.num_levels = int(num_levels)
+
+    def compress(self, named_grads: dict[str, np.ndarray]) -> QuantizedGradient:
+        return _quantize_named(named_grads, self.num_levels)
+
+    @property
+    def ratio(self) -> float:
+        return 2.0 / 8.0  # int16 levels vs float64 values is the honest local
+        # ratio; on-the-wire fp32 baselines give 0.5.
+
+
+class QSGDCompressor(Compressor):
+    """QSGD: stochastic rounding makes the quantizer unbiased."""
+
+    def __init__(self, num_levels: int = 127, rng: Rng | None = None):
+        if num_levels < 1:
+            raise ValueError(f"num_levels must be >= 1, got {num_levels}")
+        self.num_levels = int(num_levels)
+        self.rng = rng or Rng(0)
+        self._call_index = 0
+
+    def compress(self, named_grads: dict[str, np.ndarray]) -> QuantizedGradient:
+        call_rng = self.rng.child("call", self._call_index)
+        self._call_index += 1
+        return _quantize_named(named_grads, self.num_levels, rng=call_rng)
+
+    @property
+    def ratio(self) -> float:
+        return 2.0 / 8.0

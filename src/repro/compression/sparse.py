@@ -1,0 +1,155 @@
+"""Sparse gradient container: per-tensor ``(indices, values)`` pairs.
+
+The workhorse payload of the reproduction.  Sparsified gradients are what
+workers exchange, what the reusing queue carries, what batched writes
+accumulate, and what differential checkpoints persist.  Union-add is
+associative and commutative, which is exactly why batched gradient writing
+(§IV-B) and pairwise parallel recovery merging (§VI) are sound.
+
+Index dtype is int32 (tensors here are < 2^31 elements) and values are
+stored at ``value_dtype`` (float32 by default, matching fp32 training on
+the wire); ``nbytes`` therefore reports the true serialized size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+VALUE_DTYPE = np.float32
+INDEX_DTYPE = np.int32
+
+
+class SparseGradient:
+    """Named sparse tensors sharing one parameter space.
+
+    Parameters
+    ----------
+    entries:
+        ``{name: (indices, values)}`` with flat int indices into the
+        flattened tensor.
+    shapes:
+        ``{name: dense_shape}`` for reconstruction.
+    """
+
+    __slots__ = ("entries", "shapes")
+
+    def __init__(self, entries: dict[str, tuple], shapes: dict[str, tuple]):
+        if set(entries) != set(shapes):
+            raise KeyError("entries and shapes must cover the same tensor names")
+        self.entries: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        self.shapes = {name: tuple(shape) for name, shape in shapes.items()}
+        for name, (indices, values) in entries.items():
+            indices = np.asarray(indices, dtype=INDEX_DTYPE)
+            values = np.asarray(values, dtype=VALUE_DTYPE)
+            if indices.shape != values.shape or indices.ndim != 1:
+                raise ValueError(
+                    f"indices/values for {name} must be equal-length 1-D arrays"
+                )
+            size = int(np.prod(self.shapes[name])) if self.shapes[name] else 1
+            if indices.size and (indices.min() < 0 or indices.max() >= size):
+                raise IndexError(f"sparse index out of range for tensor {name}")
+            self.entries[name] = (indices, values)
+
+    # Construction helpers ---------------------------------------------------
+    @classmethod
+    def from_dense(cls, named: dict[str, np.ndarray],
+                   mask_fn) -> "SparseGradient":
+        """Build by applying ``mask_fn(flat_tensor) -> flat_indices`` per tensor."""
+        entries, shapes = {}, {}
+        for name, tensor in named.items():
+            flat = np.asarray(tensor).reshape(-1)
+            indices = np.asarray(mask_fn(flat), dtype=INDEX_DTYPE)
+            entries[name] = (indices, flat[indices])
+            shapes[name] = tensor.shape
+        return cls(entries, shapes)
+
+    @classmethod
+    def zeros_like(cls, shapes: dict[str, tuple]) -> "SparseGradient":
+        empty = np.array([], dtype=INDEX_DTYPE)
+        return cls(
+            {name: (empty, np.array([], dtype=VALUE_DTYPE)) for name in shapes},
+            shapes,
+        )
+
+    # Payload protocol ---------------------------------------------------------
+    def decompress(self) -> dict[str, np.ndarray]:
+        """Densify: zeros everywhere except the retained coordinates."""
+        dense = {}
+        for name, (indices, values) in self.entries.items():
+            flat = np.zeros(int(np.prod(self.shapes[name])) if self.shapes[name] else 1)
+            # np.add.at handles (illegal but possible) duplicate indices safely.
+            np.add.at(flat, indices, values.astype(np.float64))
+            dense[name] = flat.reshape(self.shapes[name])
+        return dense
+
+    def add(self, other: "SparseGradient") -> "SparseGradient":
+        """Union-merge: indices united, overlapping values summed."""
+        if self.shapes != other.shapes:
+            raise KeyError("cannot add SparseGradients over different parameter spaces")
+        entries = {}
+        for name in self.entries:
+            idx_a, val_a = self.entries[name]
+            idx_b, val_b = other.entries[name]
+            merged_idx = np.concatenate([idx_a, idx_b])
+            merged_val = np.concatenate(
+                [val_a.astype(np.float64), val_b.astype(np.float64)]
+            )
+            unique_idx, inverse = np.unique(merged_idx, return_inverse=True)
+            summed = np.zeros(unique_idx.shape[0])
+            np.add.at(summed, inverse, merged_val)
+            entries[name] = (unique_idx.astype(INDEX_DTYPE), summed.astype(VALUE_DTYPE))
+        return SparseGradient(entries, self.shapes)
+
+    def scale(self, factor: float) -> "SparseGradient":
+        return SparseGradient(
+            {
+                name: (indices.copy(), (values * factor).astype(VALUE_DTYPE))
+                for name, (indices, values) in self.entries.items()
+            },
+            self.shapes,
+        )
+
+    # Size accounting -------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        return sum(
+            indices.nbytes + values.nbytes
+            for indices, values in self.entries.values()
+        )
+
+    @property
+    def num_selected(self) -> int:
+        return sum(indices.size for indices, _ in self.entries.values())
+
+    @property
+    def num_elements(self) -> int:
+        return sum(
+            int(np.prod(shape)) if shape else 1 for shape in self.shapes.values()
+        )
+
+    def density(self) -> float:
+        """Fraction of coordinates retained (<= 1.0)."""
+        total = self.num_elements
+        return self.num_selected / total if total else 0.0
+
+    # Utilities ---------------------------------------------------------------
+    def copy(self) -> "SparseGradient":
+        return SparseGradient(
+            {
+                name: (indices.copy(), values.copy())
+                for name, (indices, values) in self.entries.items()
+            },
+            self.shapes,
+        )
+
+    def allclose(self, other: "SparseGradient", **kwargs) -> bool:
+        if self.shapes != other.shapes:
+            return False
+        mine, theirs = self.decompress(), other.decompress()
+        return all(np.allclose(mine[name], theirs[name], **kwargs) for name in mine)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SparseGradient(tensors={len(self.entries)}, "
+            f"selected={self.num_selected}/{self.num_elements})"
+        )

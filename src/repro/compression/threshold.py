@@ -1,0 +1,46 @@
+"""Hard-threshold sparsification.
+
+Keeps every coordinate whose magnitude exceeds a threshold — either an
+absolute value or a fraction of the tensor's max magnitude.  Unlike
+top-k, the output density varies with the gradient distribution, which
+exercises the variable-size paths of the batched writer and the storage
+accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import Compressor
+from repro.compression.sparse import SparseGradient
+from repro.utils.validation import check_positive
+
+
+class ThresholdCompressor(Compressor):
+    """Keep ``|g| >= threshold`` (absolute) or ``|g| >= rel * max|g|``."""
+
+    def __init__(self, threshold: float | None = None, relative: float | None = None):
+        if (threshold is None) == (relative is None):
+            raise ValueError("specify exactly one of threshold= or relative=")
+        if threshold is not None:
+            check_positive("threshold", threshold)
+        if relative is not None:
+            if not 0.0 < relative <= 1.0:
+                raise ValueError(f"relative must be in (0, 1], got {relative}")
+        self.threshold = threshold
+        self.relative = relative
+
+    def compress(self, named_grads: dict[str, np.ndarray]) -> SparseGradient:
+        def mask(flat: np.ndarray) -> np.ndarray:
+            magnitude = np.abs(flat)
+            if self.threshold is not None:
+                cut = self.threshold
+            else:
+                peak = magnitude.max() if flat.size else 0.0
+                cut = self.relative * peak
+            selected = np.flatnonzero(magnitude >= cut)
+            if selected.size == 0 and flat.size:
+                selected = np.array([int(np.argmax(magnitude))])
+            return selected
+
+        return SparseGradient.from_dense(named_grads, mask)

@@ -1,0 +1,53 @@
+"""Top-k sparsification (Aji & Heafield) — the paper's default compressor.
+
+Keeps the ``rho`` fraction of largest-magnitude coordinates per tensor
+(at least one), using ``argpartition`` (O(n)) rather than a full sort.
+Deterministic: magnitude ties resolve by lowest index, so two workers
+compressing identical gradients produce identical payloads.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.compression.base import Compressor
+from repro.compression.sparse import SparseGradient
+from repro.utils.validation import check_in_range
+
+
+def topk_indices(flat: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest-|x| entries, deterministic under ties."""
+    size = flat.size
+    if k >= size:
+        return np.arange(size, dtype=np.int64)
+    magnitude = np.abs(flat)
+    # argpartition gives an arbitrary ordering inside each partition; pick
+    # the cut by (magnitude, -index) to break ties deterministically.
+    candidate = np.argpartition(magnitude, size - k)[size - k:]
+    threshold = magnitude[candidate].min()
+    strictly_above = np.flatnonzero(magnitude > threshold)
+    at_threshold = np.flatnonzero(magnitude == threshold)
+    need = k - strictly_above.size
+    chosen = np.concatenate([strictly_above, at_threshold[:need]])
+    return np.sort(chosen)
+
+
+class TopKCompressor(Compressor):
+    """Per-tensor top-k selection at compression ratio ``rho``."""
+
+    def __init__(self, rho: float = 0.01):
+        check_in_range("rho", rho, 0.0, 1.0, inclusive=False)
+        self.rho = float(rho)
+
+    def compress(self, named_grads: dict[str, np.ndarray]) -> SparseGradient:
+        def mask(flat: np.ndarray) -> np.ndarray:
+            k = max(1, math.ceil(self.rho * flat.size))
+            return topk_indices(flat, k)
+
+        return SparseGradient.from_dense(named_grads, mask)
+
+    @property
+    def ratio(self) -> float:
+        return self.rho

@@ -1,0 +1,131 @@
+"""Collective communication primitives over in-process workers.
+
+Numerically these are the exact NCCL collectives the paper's stack uses
+(allreduce for dense gradients, allgather + local reduction for sparse
+payloads).  Every primitive records the bytes a real wire would carry into
+an optional :class:`CommStats`, which the tests use to check Finding 2's
+size claims and the simulator uses for calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import reduce
+
+import numpy as np
+
+from repro.compression.sparse import SparseGradient
+
+
+@dataclass
+class CommStats:
+    """Accumulated communication accounting, per primitive."""
+
+    bytes_by_op: dict[str, int] = field(default_factory=dict)
+    calls_by_op: dict[str, int] = field(default_factory=dict)
+
+    def record(self, op: str, nbytes: int) -> None:
+        self.bytes_by_op[op] = self.bytes_by_op.get(op, 0) + int(nbytes)
+        self.calls_by_op[op] = self.calls_by_op.get(op, 0) + 1
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_op.values())
+
+
+def _named_bytes(named: dict[str, np.ndarray]) -> int:
+    return sum(np.asarray(v).nbytes for v in named.values())
+
+
+def allreduce_mean(worker_grads: list[dict[str, np.ndarray]],
+                   stats: CommStats | None = None) -> dict[str, np.ndarray]:
+    """Dense ring-allreduce: element-wise mean across workers.
+
+    Wire cost of a ring allreduce is ``2 * (N-1)/N * size`` per worker;
+    we record the aggregate across workers.
+    """
+    if not worker_grads:
+        raise ValueError("allreduce over zero workers")
+    names = set(worker_grads[0])
+    for grads in worker_grads[1:]:
+        if set(grads) != names:
+            raise KeyError("workers disagree on parameter names")
+    count = len(worker_grads)
+    result = {}
+    for name in worker_grads[0]:
+        acc = worker_grads[0][name].astype(np.float64, copy=True)
+        for grads in worker_grads[1:]:
+            acc += grads[name]
+        acc /= count
+        result[name] = acc
+    if stats is not None:
+        size = _named_bytes(result)
+        stats.record("allreduce", int(2 * (count - 1) * size))
+    return result
+
+
+def allgather(payloads: list, stats: CommStats | None = None) -> list:
+    """Each worker receives every worker's payload (order preserved)."""
+    if not payloads:
+        raise ValueError("allgather over zero workers")
+    if stats is not None:
+        count = len(payloads)
+        total = sum(getattr(p, "nbytes", 0) or _named_bytes(p) for p in payloads)
+        stats.record("allgather", int((count - 1) * total))
+    return list(payloads)
+
+
+def broadcast(payload, num_workers: int, stats: CommStats | None = None) -> list:
+    """Root's payload replicated to all workers (by reference: zero-copy)."""
+    if num_workers <= 0:
+        raise ValueError(f"num_workers must be > 0, got {num_workers}")
+    if stats is not None:
+        size = getattr(payload, "nbytes", None)
+        if size is None:
+            size = _named_bytes(payload)
+        stats.record("broadcast", int((num_workers - 1) * size))
+    return [payload] * num_workers
+
+
+def reduce_scatter_mean(worker_grads: list[dict[str, np.ndarray]],
+                        stats: CommStats | None = None) -> list[dict[str, np.ndarray]]:
+    """Mean-reduce, then shard parameters across workers round-robin.
+
+    Returns one shard dict per worker (union of shards == full mean).
+    Used by the ZeRO-style sharded baselines in the simulator's
+    calibration tests.
+    """
+    mean = allreduce_mean(worker_grads)  # numerics; wire cost recorded below
+    count = len(worker_grads)
+    shards: list[dict[str, np.ndarray]] = [{} for _ in range(count)]
+    for position, (name, tensor) in enumerate(sorted(mean.items())):
+        shards[position % count][name] = tensor
+    if stats is not None:
+        size = _named_bytes(mean)
+        stats.record("reduce_scatter", int((count - 1) * size // max(count, 1)))
+    return shards
+
+
+def sparse_allreduce(worker_payloads: list[SparseGradient], average: bool = True,
+                     stats: CommStats | None = None) -> SparseGradient:
+    """Synchronize sparsified gradients: allgather + union-sum (optionally mean).
+
+    This is how top-k training stacks synchronize: each worker contributes
+    its own selected coordinates; the synchronized gradient is the union
+    with overlapping values summed, divided by N for the mean.  The result
+    is itself sparse (<= N*k coordinates) — the payload LowDiff reuses.
+    """
+    if not worker_payloads:
+        raise ValueError("sparse_allreduce over zero workers")
+    shapes = worker_payloads[0].shapes
+    for payload in worker_payloads[1:]:
+        if payload.shapes != shapes:
+            raise KeyError("workers disagree on parameter shapes")
+    if stats is not None:
+        count = len(worker_payloads)
+        total = sum(p.nbytes for p in worker_payloads)
+        stats.record("sparse_allgather", int((count - 1) * total))
+    merged = reduce(lambda a, b: a.add(b), worker_payloads)
+    if average:
+        merged = merged.scale(1.0 / len(worker_payloads))
+    return merged

@@ -1,0 +1,127 @@
+"""Deterministic synthetic datasets.
+
+The paper trains on CIFAR/ImageNet/SQuAD/WikiText; none are available
+offline, so each task family gets a synthetic generator that exercises the
+same code path (image batches for CNNs, token batches for transformers).
+Batches are pure functions of ``(seed, worker, iteration)`` so a recovered
+run re-draws exactly the batches the failed run would have seen — which is
+what makes end-to-end recovery tests bit-exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import Rng
+
+
+class _SyntheticBase:
+    """Common plumbing: per-(worker, iteration) derived RNG streams."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = Rng(seed)
+
+    def _batch_rng(self, worker: int, iteration: int) -> Rng:
+        return self._rng.child("batch", worker, iteration)
+
+    def batch(self, worker: int, iteration: int) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+
+class SyntheticRegression(_SyntheticBase):
+    """Linear-plus-noise regression targets for MSE training."""
+
+    def __init__(self, in_features: int, out_features: int, batch_size: int,
+                 seed: int = 0, noise: float = 0.1):
+        super().__init__(seed)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.batch_size = batch_size
+        self.noise = noise
+        # A fixed ground-truth map makes the loss actually decrease.
+        truth_rng = self._rng.child("truth")
+        self._w = truth_rng.normal(size=(in_features, out_features))
+
+    def batch(self, worker: int, iteration: int):
+        rng = self._batch_rng(worker, iteration)
+        x = rng.normal(size=(self.batch_size, self.in_features))
+        y = x @ self._w + self.noise * rng.normal(size=(self.batch_size, self.out_features))
+        return x, y
+
+
+class SyntheticClassification(_SyntheticBase):
+    """Gaussian-cluster classification for MLP training."""
+
+    def __init__(self, in_features: int, num_classes: int, batch_size: int,
+                 seed: int = 0, spread: float = 2.0):
+        super().__init__(seed)
+        self.in_features = in_features
+        self.num_classes = num_classes
+        self.batch_size = batch_size
+        centers_rng = self._rng.child("centers")
+        self._centers = spread * centers_rng.normal(size=(num_classes, in_features))
+
+    def batch(self, worker: int, iteration: int):
+        rng = self._batch_rng(worker, iteration)
+        labels = rng.integers(0, self.num_classes, size=self.batch_size)
+        x = self._centers[labels] + rng.normal(size=(self.batch_size, self.in_features))
+        return x, labels
+
+
+class SyntheticImages(_SyntheticBase):
+    """Labeled image batches for the CNN workloads (CIFAR stand-in)."""
+
+    def __init__(self, image_size: int = 8, channels: int = 3, num_classes: int = 10,
+                 batch_size: int = 4, seed: int = 0):
+        super().__init__(seed)
+        self.image_size = image_size
+        self.channels = channels
+        self.num_classes = num_classes
+        self.batch_size = batch_size
+        pattern_rng = self._rng.child("patterns")
+        self._patterns = pattern_rng.normal(
+            size=(num_classes, channels, image_size, image_size)
+        )
+
+    def batch(self, worker: int, iteration: int):
+        rng = self._batch_rng(worker, iteration)
+        labels = rng.integers(0, self.num_classes, size=self.batch_size)
+        images = self._patterns[labels] + 0.5 * rng.normal(
+            size=(self.batch_size, self.channels, self.image_size, self.image_size)
+        )
+        return images, labels
+
+
+class SyntheticTokens(_SyntheticBase):
+    """Token sequences for the LM workloads (WikiText stand-in).
+
+    Sequences follow a fixed random Markov chain so next-token prediction
+    is learnable.  ``lm_targets=True`` yields shifted targets for GPT-2
+    training; otherwise a per-sequence class label (BERT-style).
+    """
+
+    def __init__(self, vocab_size: int = 64, seq_len: int = 8, batch_size: int = 4,
+                 seed: int = 0, lm_targets: bool = True, num_classes: int = 2):
+        super().__init__(seed)
+        self.vocab_size = vocab_size
+        self.seq_len = seq_len
+        self.batch_size = batch_size
+        self.lm_targets = lm_targets
+        self.num_classes = num_classes
+        chain_rng = self._rng.child("chain")
+        logits = chain_rng.normal(size=(vocab_size, vocab_size))
+        exp = np.exp(logits - logits.max(axis=1, keepdims=True))
+        self._transition = exp / exp.sum(axis=1, keepdims=True)
+
+    def batch(self, worker: int, iteration: int):
+        rng = self._batch_rng(worker, iteration)
+        tokens = np.empty((self.batch_size, self.seq_len + 1), dtype=np.int64)
+        tokens[:, 0] = rng.integers(0, self.vocab_size, size=self.batch_size)
+        for position in range(1, self.seq_len + 1):
+            uniform = rng.random(self.batch_size)
+            cdf = np.cumsum(self._transition[tokens[:, position - 1]], axis=1)
+            tokens[:, position] = (uniform[:, None] > cdf).sum(axis=1)
+        if self.lm_targets:
+            return tokens[:, :-1], tokens[:, 1:]
+        labels = tokens[:, 0] % self.num_classes
+        return tokens[:, :-1], labels

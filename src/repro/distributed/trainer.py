@@ -1,0 +1,236 @@
+"""Synchronous data-parallel trainer with gradient-reuse hook points.
+
+One ``step()`` is the paper's four-phase iteration (§II-A): forward,
+backward, gradient synchronization, model update.  With a compressor the
+synchronization path is compress → sparse allreduce → decompress, and the
+*synchronized compressed gradient* — the exact payload the update consumes
+— is handed to every registered ``synced-gradient`` hook.  That payload is
+what LowDiff enqueues as a differential checkpoint, which is why recovery
+replay is bit-exact.
+
+Layer hooks replay the backward's reverse-layer order with synchronized
+per-layer gradients, emulating Algorithm 2's per-layer sync threads for
+LowDiff+.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.compression.base import CompressedGradient, Compressor, DenseGradient
+from repro.distributed.collectives import (
+    CommStats,
+    allreduce_mean,
+    sparse_allreduce,
+)
+from repro.distributed.worker import SimWorker
+from repro.optim.optimizer import Optimizer
+from repro.tensor.module import Module
+from repro.utils.rng import Rng
+
+
+@dataclass
+class IterationRecord:
+    """What one training step produced."""
+
+    iteration: int
+    loss: float
+    payload: CompressedGradient | None  # synchronized compressed gradient
+    comm_bytes: int
+
+
+class DataParallelTrainer:
+    """Drives ``num_workers`` replicas through synchronous data parallelism.
+
+    Parameters
+    ----------
+    model_builder / optimizer_builder:
+        Callables ``(rank) -> Module`` and ``(model) -> Optimizer``; every
+        rank must build bit-identical replicas (verified at construction).
+    loss_fn:
+        ``(logits, targets) -> (loss, grad_seed)``.
+    dataset:
+        ``batch(worker, iteration) -> (inputs, targets)``.
+    compressor_builder:
+        Optional ``() -> Compressor``; one instance per worker (so
+        stateful wrappers like error feedback stay rank-local).  ``None``
+        trains dense (the LowDiff+ scenario).
+    """
+
+    def __init__(self, model_builder: Callable[[int], Module],
+                 optimizer_builder: Callable[[Module], Optimizer],
+                 loss_fn: Callable, dataset, num_workers: int = 2,
+                 compressor_builder: Callable[[], Compressor] | None = None,
+                 comm_stats: CommStats | None = None):
+        if num_workers <= 0:
+            raise ValueError(f"num_workers must be > 0, got {num_workers}")
+        self.num_workers = num_workers
+        self.comm_stats = comm_stats if comm_stats is not None else CommStats()
+        self.workers: list[SimWorker] = []
+        self.compressors: list[Compressor] | None = (
+            [compressor_builder() for _ in range(num_workers)]
+            if compressor_builder is not None
+            else None
+        )
+        for rank in range(num_workers):
+            model = model_builder(rank)
+            optimizer = optimizer_builder(model)
+            self.workers.append(SimWorker(rank, model, optimizer, loss_fn, dataset))
+        signatures = {worker.state_signature() for worker in self.workers}
+        if len(signatures) != 1:
+            raise ValueError(
+                "worker replicas differ at initialization; model_builder must "
+                "be rank-independent (same seed for every rank)"
+            )
+        self.iteration = 0
+        self._synced_hooks: list[Callable[[int, CompressedGradient], None]] = []
+        self._layer_hooks: list[Callable[[int, str, dict], None]] = []
+        self._update_hooks: list[Callable[[int], None]] = []
+        self._layer_capture: list[list[tuple[str, dict]]] | None = None
+        self._install_layer_capture()
+
+    # Hook registration -------------------------------------------------------
+    def register_synced_gradient_hook(self, hook: Callable[[int, CompressedGradient], None]) -> None:
+        """``hook(iteration, payload)`` after gradient synchronization.
+
+        ``payload`` is a :class:`CompressedGradient` (sparse when a
+        compressor is configured, dense otherwise); decompressing it yields
+        exactly the gradient the model update used.
+        """
+        self._synced_hooks.append(hook)
+
+    def register_layer_gradient_hook(self, hook: Callable[[int, str, dict], None]) -> None:
+        """``hook(iteration, layer_name, {param: grad})`` per layer.
+
+        Fires in reverse layer order with *synchronized* (cross-worker
+        mean) per-layer gradients — Algorithm 2's per-layer stream.
+        """
+        self._layer_hooks.append(hook)
+
+    def register_post_update_hook(self, hook: Callable[[int], None]) -> None:
+        """``hook(iteration)`` after every worker applied the update."""
+        self._update_hooks.append(hook)
+
+    def _install_layer_capture(self) -> None:
+        self._layer_capture = [[] for _ in range(self.num_workers)]
+
+        def make_capture(rank: int):
+            def capture(layer_name: str, grads: dict) -> None:
+                self._layer_capture[rank].append(
+                    (layer_name, {k: v.copy() for k, v in grads.items()})
+                )
+            return capture
+
+        for rank, worker in enumerate(self.workers):
+            worker.model.register_grad_hook(make_capture(rank))
+
+    # Training -----------------------------------------------------------------
+    def step(self) -> IterationRecord:
+        """Run one synchronous data-parallel iteration."""
+        iteration = self.iteration
+        bytes_before = self.comm_stats.total_bytes
+        for capture in self._layer_capture:
+            capture.clear()
+
+        local_grads = [worker.local_gradients(iteration) for worker in self.workers]
+        self._fire_layer_hooks(iteration)
+
+        if self.compressors is not None:
+            payloads = [
+                compressor.compress(grads)
+                for compressor, grads in zip(self.compressors, local_grads)
+            ]
+            synced: CompressedGradient = sparse_allreduce(
+                payloads, average=True, stats=self.comm_stats
+            ) if hasattr(payloads[0], "entries") else self._dense_mean_payload(payloads)
+            update_grads = synced.decompress()
+        else:
+            mean = allreduce_mean(local_grads, stats=self.comm_stats)
+            synced = DenseGradient(mean)
+            update_grads = mean
+
+        for hook in self._synced_hooks:
+            hook(iteration, synced)
+
+        for worker in self.workers:
+            worker.apply_update(update_grads)
+        for hook in self._update_hooks:
+            hook(iteration)
+
+        self.iteration += 1
+        loss = float(np.mean([worker.last_loss for worker in self.workers]))
+        return IterationRecord(
+            iteration=iteration,
+            loss=loss,
+            payload=synced,
+            comm_bytes=self.comm_stats.total_bytes - bytes_before,
+        )
+
+    def _dense_mean_payload(self, payloads: list) -> CompressedGradient:
+        """Average non-sparse payloads (quantized/dense compressors)."""
+        merged = payloads[0]
+        for payload in payloads[1:]:
+            merged = merged.add(payload)
+        return merged.scale(1.0 / len(payloads))
+
+    def _fire_layer_hooks(self, iteration: int) -> None:
+        if not self._layer_hooks:
+            return
+        reference = self._layer_capture[0]
+        for index, (layer_name, _) in enumerate(reference):
+            synced_layer: dict[str, np.ndarray] = {}
+            for param_name in reference[index][1]:
+                # Accumulate in the same order as allreduce_mean so the
+                # per-layer mean is bit-identical to the full synced
+                # gradient (LowDiff+'s CPU replica relies on this).
+                acc = self._layer_capture[0][index][1][param_name].astype(
+                    np.float64, copy=True
+                )
+                for rank in range(1, self.num_workers):
+                    acc += self._layer_capture[rank][index][1][param_name]
+                acc /= self.num_workers
+                synced_layer[param_name] = acc
+            for hook in self._layer_hooks:
+                hook(iteration, layer_name, synced_layer)
+
+    def run(self, num_iterations: int) -> list[IterationRecord]:
+        return [self.step() for _ in range(num_iterations)]
+
+    # State access (canonical replica: rank 0) -----------------------------------
+    @property
+    def model(self) -> Module:
+        return self.workers[0].model
+
+    @property
+    def optimizer(self) -> Optimizer:
+        return self.workers[0].optimizer
+
+    def model_state(self) -> dict[str, np.ndarray]:
+        return self.model.state_dict()
+
+    def optimizer_state(self) -> dict:
+        return self.optimizer.state_dict()
+
+    def load_state(self, model_state: dict, optimizer_state: dict,
+                   iteration: int) -> None:
+        """Restore every replica to a checkpointed state (recovery path)."""
+        for worker in self.workers:
+            worker.model.load_state_dict(model_state)
+            worker.optimizer.load_state_dict(optimizer_state)
+        self.iteration = int(iteration)
+
+    def replicas_consistent(self, atol: float = 0.0) -> bool:
+        """True iff all replicas hold identical parameters."""
+        reference = self.model_state()
+        for worker in self.workers[1:]:
+            state = worker.model.state_dict()
+            for name, value in reference.items():
+                if atol == 0.0:
+                    if not np.array_equal(value, state[name]):
+                        return False
+                elif not np.allclose(value, state[name], atol=atol):
+                    return False
+        return True

@@ -1,0 +1,64 @@
+"""A single data-parallel worker: model replica + optimizer + data shard."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+from repro.tensor.module import Module
+
+
+class SimWorker:
+    """One rank of the simulated data-parallel group.
+
+    Parameters
+    ----------
+    rank:
+        Worker index; selects this worker's shard of every batch.
+    model / optimizer:
+        The replica this rank owns.  All ranks must construct replicas from
+        the same seed (checked by the trainer).
+    loss_fn:
+        Callable ``(logits, targets) -> (loss, grad)``.
+    dataset:
+        Object with ``batch(worker, iteration) -> (inputs, targets)``.
+    """
+
+    def __init__(self, rank: int, model: Module, optimizer: Optimizer,
+                 loss_fn: Callable, dataset):
+        self.rank = rank
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_fn = loss_fn
+        self.dataset = dataset
+        self.last_loss: float = float("nan")
+
+    def local_gradients(self, iteration: int) -> dict[str, np.ndarray]:
+        """Forward+backward on this rank's batch; returns named gradients.
+
+        Gradient-ready hooks registered on the model fire during this call,
+        layer by layer in reverse order.
+        """
+        inputs, targets = self.dataset.batch(self.rank, iteration)
+        self.model.zero_grad()
+        logits = self.model.forward(inputs)
+        self.last_loss, grad_seed = self.loss_fn(logits, targets)
+        self.model.backward(grad_seed)
+        return {
+            name: param.grad
+            for name, param in self.model.named_parameters()
+            if param.requires_grad
+        }
+
+    def apply_update(self, named_grads: dict[str, np.ndarray]) -> None:
+        """Advance model + optimizer state with the synchronized gradient."""
+        self.optimizer.step_with(named_grads)
+
+    def state_signature(self) -> float:
+        """Cheap fingerprint of the model state (replica-consistency checks)."""
+        total = 0.0
+        for _, param in self.model.named_parameters():
+            total += float(np.abs(param.data).sum())
+        return total

@@ -1,0 +1,142 @@
+"""ZeRO-1-style optimizer-state sharding (Rajbhandari et al.).
+
+DeepSpeed — the framework LowDiff is implemented on — shards optimizer
+state across data-parallel ranks: every rank holds the full parameters
+but only ``1/N`` of the Adam moments, applies the update for its shard,
+and broadcasts the refreshed parameters.  This trainer reproduces that
+execution model so LowDiff can be exercised in its native habitat:
+
+* the synchronized compressed gradient is still produced once per
+  iteration (the reusable payload is unchanged — sharding is orthogonal
+  to gradient reuse);
+* ``optimizer_state()`` *assembles* the sharded moments into the standard
+  full state dict, so checkpointing and recovery code is identical to the
+  unsharded path (a full checkpoint is still ``3 Psi``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.distributed.trainer import DataParallelTrainer
+from repro.optim.optimizer import Optimizer
+from repro.tensor.module import Module
+from repro.utils.rng import derive_seed
+
+
+def shard_owner(name: str, num_shards: int) -> int:
+    """Stable parameter→shard assignment (hash of the dotted name)."""
+    return derive_seed(0, "zero-shard", name) % num_shards
+
+
+class ZeroDataParallelTrainer(DataParallelTrainer):
+    """Data-parallel training with ZeRO-1 optimizer-state sharding.
+
+    Construction mirrors :class:`DataParallelTrainer`; the
+    ``optimizer_builder`` is called once per rank with the rank's model
+    and must build the *full* optimizer — this trainer then restricts
+    each rank's updates to its owned shard and broadcasts parameters.
+    """
+
+    def __init__(self, model_builder: Callable[[int], Module],
+                 optimizer_builder: Callable[[Module], Optimizer],
+                 loss_fn: Callable, dataset, num_workers: int = 2,
+                 compressor_builder=None, comm_stats=None):
+        super().__init__(model_builder, optimizer_builder, loss_fn, dataset,
+                         num_workers=num_workers,
+                         compressor_builder=compressor_builder,
+                         comm_stats=comm_stats)
+        # Ownership map over the canonical parameter names.
+        self._owners = {
+            name: shard_owner(name, num_workers)
+            for name in self.optimizer.param_names
+        }
+
+    def owned_names(self, rank: int) -> list[str]:
+        return [name for name, owner in self._owners.items() if owner == rank]
+
+    # Update phase ------------------------------------------------------------
+    def step(self):
+        record = None
+        # Reuse the parent step's machinery by overriding the per-worker
+        # update via a shim: simplest correct approach is to run the parent
+        # logic but intercept apply.  We instead duplicate the narrow tail:
+        iteration = self.iteration
+        bytes_before = self.comm_stats.total_bytes
+        for capture in self._layer_capture:
+            capture.clear()
+        local_grads = [worker.local_gradients(iteration) for worker in self.workers]
+        self._fire_layer_hooks(iteration)
+        from repro.compression.base import DenseGradient
+        from repro.distributed.collectives import allreduce_mean, sparse_allreduce
+        if self.compressors is not None:
+            payloads = [c.compress(g) for c, g in zip(self.compressors, local_grads)]
+            if hasattr(payloads[0], "entries"):
+                synced = sparse_allreduce(payloads, average=True,
+                                          stats=self.comm_stats)
+            else:
+                synced = self._dense_mean_payload(payloads)
+            update_grads = synced.decompress()
+        else:
+            mean = allreduce_mean(local_grads, stats=self.comm_stats)
+            synced = DenseGradient(mean)
+            update_grads = mean
+        for hook in self._synced_hooks:
+            hook(iteration, synced)
+
+        # ZeRO-1: every rank steps only the parameters it owns...
+        for rank, worker in enumerate(self.workers):
+            owned = set(self.owned_names(rank))
+            worker.optimizer.step_count += 1  # before updates: bias correction
+            for name, param in worker.optimizer._named.items():
+                if name in owned:
+                    worker.optimizer._update_param(name, param, update_grads[name])
+        # ...then the refreshed parameters are broadcast from their owner
+        # to every other rank (the ZeRO allgather).
+        broadcast_bytes = 0
+        for name, owner in self._owners.items():
+            source = dict(self.workers[owner].model.named_parameters())[name]
+            for rank, worker in enumerate(self.workers):
+                if rank == owner:
+                    continue
+                target = dict(worker.model.named_parameters())[name]
+                np.copyto(target.data, source.data)
+            broadcast_bytes += source.nbytes * (self.num_workers - 1)
+        self.comm_stats.record("zero_param_allgather", broadcast_bytes)
+
+        for hook in self._update_hooks:
+            hook(iteration)
+        self.iteration += 1
+        from repro.distributed.trainer import IterationRecord
+        loss = float(np.mean([w.last_loss for w in self.workers]))
+        return IterationRecord(
+            iteration=iteration, loss=loss, payload=synced,
+            comm_bytes=self.comm_stats.total_bytes - bytes_before,
+        )
+
+    # Checkpoint-facing state -------------------------------------------------
+    def optimizer_state(self) -> dict:
+        """Assemble the sharded moments into one full optimizer state."""
+        assembled = self.workers[0].optimizer.state_dict()
+        for rank, worker in enumerate(self.workers):
+            shard_state = worker.optimizer.state_dict()
+            for name in self.owned_names(rank):
+                assembled["slots"][name] = shard_state["slots"][name]
+        return assembled
+
+    def load_state(self, model_state: dict, optimizer_state: dict,
+                   iteration: int) -> None:
+        """Restore replicas; every rank loads the full assembled state (its
+        non-owned slots are simply never read again)."""
+        super().load_state(model_state, optimizer_state, iteration)
+
+    def shard_state_bytes(self, rank: int) -> int:
+        """Bytes of optimizer state rank ``rank`` actually owns (~2 Psi / N)."""
+        worker = self.workers[rank]
+        total = 0
+        for name in self.owned_names(rank):
+            for array in worker.optimizer._slots(name).values():
+                total += array.nbytes
+        return total

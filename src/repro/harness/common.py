@@ -1,0 +1,78 @@
+"""Shared experiment plumbing: result container, runners, rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.cluster import A100_CLUSTER, V100_CLUSTER, ClusterSpec
+from repro.sim.engine import SimResult, TrainingSim
+from repro.sim.strategies import CheckpointStrategy, make_strategy
+from repro.sim.workload import Workload
+
+#: Iteration count used by the paper's training-time experiments.
+PAPER_ITERATIONS = 1000
+
+#: Models shown in the paper's Exp. 1 figure (plus the pipeline VGG run).
+EXP1_MODELS = [
+    "resnet50", "resnet101", "vgg19", "bert_base",
+    "bert_large", "gpt2_small", "gpt2_large",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows-of-dicts result with enough metadata to render and compare."""
+
+    experiment: str              # e.g. "exp1"
+    title: str                   # paper artifact, e.g. "Fig. 7 training time"
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def column(self, name: str) -> list:
+        return [row[name] for row in self.rows]
+
+    def find(self, **filters) -> list[dict]:
+        out = []
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in filters.items()):
+                out.append(row)
+        return out
+
+
+def render_table(result: ExperimentResult, float_format: str = "{:.3f}") -> str:
+    """Plain-text table renderer (what the bench harness prints)."""
+    def fmt(value):
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    header = result.columns
+    body = [[fmt(row.get(col, "")) for col in header] for row in result.rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [f"== {result.title} ({result.experiment}) =="]
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+    if result.notes:
+        lines.append(f"note: {result.notes}")
+    return "\n".join(lines)
+
+
+def simulate(model: str, strategy_name: str, rho: float | None = 0.01,
+             cluster: ClusterSpec = A100_CLUSTER,
+             iterations: int = PAPER_ITERATIONS,
+             **strategy_kwargs) -> tuple[SimResult, CheckpointStrategy]:
+    """Build workload + strategy, run the timing sim, return both."""
+    workload = Workload.create(model, cluster, rho=rho)
+    strategy = make_strategy(strategy_name, **strategy_kwargs)
+    sim = TrainingSim(workload, strategy)
+    return sim.run(iterations), strategy
+
+
+def default_cluster(name: str) -> ClusterSpec:
+    return {"a100": A100_CLUSTER, "v100": V100_CLUSTER}[name]

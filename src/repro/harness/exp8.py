@@ -1,0 +1,38 @@
+"""Exp. 8 — impact of compression ratio rho on checkpoint frequency
+(Fig. 13).
+
+For GPT2-S and GPT2-L, sweep rho over the literature's common range
+[0.001, 0.1] and find the highest LowDiff checkpoint frequency (smallest
+diff interval) that keeps overhead under the 3.5% bound.
+
+Paper: GPT2-S per-iteration across the whole range; GPT2-L per-iteration
+up to rho=0.075, every 2 iterations at rho=0.1.
+"""
+
+from __future__ import annotations
+
+from repro.harness.common import ExperimentResult
+from repro.harness.exp4 import min_interval
+
+RHO_GRID = [0.001, 0.0025, 0.005, 0.0075, 0.01, 0.025, 0.05, 0.075, 0.1]
+MODELS = ["gpt2_small", "gpt2_large"]
+
+
+def run(models: list[str] | None = None,
+        rhos: list[float] | None = None) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="exp8",
+        title="Exp. 8: LowDiff checkpoint interval vs compression ratio rho",
+        columns=["model", "rho", "interval_iters"],
+        notes="paper: interval stays < 3 iterations over the common rho range",
+    )
+    for model in models or MODELS:
+        for rho in rhos or RHO_GRID:
+            interval = min_interval(
+                model, "lowdiff", rho, "diff_every",
+                {"full_every": 200, "batch_size": 2},
+            )
+            result.rows.append({
+                "model": model, "rho": rho, "interval_iters": interval,
+            })
+    return result

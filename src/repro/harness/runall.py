@@ -1,0 +1,54 @@
+"""Regenerate every experiment artifact.
+
+``python -m repro.harness.runall``            — print all tables
+``python -m repro.harness.runall exp1 exp5``  — a subset
+``python -m repro.harness.runall --markdown`` — EXPERIMENTS.md-style output
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness import ALL_EXPERIMENTS
+from repro.harness.common import ExperimentResult, render_table
+
+
+def render_markdown(result: ExperimentResult) -> str:
+    def fmt(value):
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    lines = [f"### {result.title}", ""]
+    lines.append("| " + " | ".join(result.columns) + " |")
+    lines.append("|" + "|".join("---" for _ in result.columns) + "|")
+    for row in result.rows:
+        lines.append(
+            "| " + " | ".join(fmt(row.get(col, "")) for col in result.columns) + " |"
+        )
+    if result.notes:
+        lines.append("")
+        lines.append(f"*{result.notes}*")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    markdown = "--markdown" in argv
+    argv = [a for a in argv if not a.startswith("--")]
+    names = argv or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; known: {sorted(ALL_EXPERIMENTS)}",
+              file=sys.stderr)
+        return 2
+    for name in names:
+        result = ALL_EXPERIMENTS[name].run()
+        print(render_markdown(result) if markdown else render_table(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Optimizers with replayable state.
+
+LowDiff's recovery path replays checkpointed (compressed) gradients through
+the optimizer, so optimizers here expose both the usual ``step()`` over
+``Parameter.grad`` and ``step_with(named_grads)`` for external gradients,
+plus full ``state_dict``/``load_state_dict`` round-tripping — the
+ingredients of the bit-exact recovery invariant.
+"""
+
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.lr_scheduler import (
+    ConstantLR,
+    StepLR,
+    CosineAnnealingLR,
+    WarmupLR,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "ConstantLR",
+    "StepLR",
+    "CosineAnnealingLR",
+    "WarmupLR",
+]

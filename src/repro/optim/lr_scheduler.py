@@ -1,0 +1,84 @@
+"""Learning-rate schedules.
+
+Schedules are pure functions of the step index, so a recovered run resumes
+with exactly the learning rate the failed run would have used — another
+piece of the bit-exact replay contract.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.optimizer import Optimizer
+
+
+class _Scheduler:
+    """Base: computes lr(step) and pushes it into the bound optimizer."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+
+    def lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Set the optimizer lr for its *next* update and return it."""
+        lr = self.lr_at(self.optimizer.step_count)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(_Scheduler):
+    def lr_at(self, step: int) -> float:
+        return self.base_lr
+
+
+class StepLR(_Scheduler):
+    """Multiply lr by ``gamma`` every ``step_size`` optimizer steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be > 0, got {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.step_size)
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine decay from base lr to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if total_steps <= 0:
+            raise ValueError(f"total_steps must be > 0, got {total_steps}")
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int) -> float:
+        progress = min(step, self.total_steps) / self.total_steps
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class WarmupLR(_Scheduler):
+    """Linear warmup into a wrapped schedule (or constant after warmup)."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int,
+                 after: _Scheduler | None = None):
+        super().__init__(optimizer)
+        if warmup_steps <= 0:
+            raise ValueError(f"warmup_steps must be > 0, got {warmup_steps}")
+        self.warmup_steps = warmup_steps
+        self.after = after
+
+    def lr_at(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.base_lr * (step + 1) / self.warmup_steps
+        if self.after is not None:
+            return self.after.lr_at(step - self.warmup_steps)
+        return self.base_lr

@@ -1,0 +1,127 @@
+"""Optimizer base class.
+
+The contract that matters for differential checkpointing (paper §III-B,
+Finding 1): given the same optimizer state and the same gradient, ``step``
+produces the same parameter delta — so a checkpointed gradient replayed
+through ``step_with`` reconstructs exactly the state change the live run
+made, and ``M_{t+1} = M_t + Opt(G_t)`` holds bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.tensor.module import Module
+from repro.tensor.parameter import Parameter
+
+
+class Optimizer:
+    """Base optimizer bound to a set of named parameters."""
+
+    def __init__(self, params: Module | Iterable[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be > 0, got {lr}")
+        if isinstance(params, Module):
+            named = [(name, p) for name, p in params.named_parameters()
+                     if p.requires_grad]
+        else:
+            params = list(params)
+            for index, param in enumerate(params):
+                if not param.name:
+                    param.name = f"param{index}"
+            named = [(p.name, p) for p in params if p.requires_grad]
+        names = [name for name, _ in named]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate parameter names passed to optimizer")
+        self._named: dict[str, Parameter] = dict(named)
+        self.lr = float(lr)
+        self.step_count = 0
+
+    # Introspection --------------------------------------------------------
+    @property
+    def param_names(self) -> list[str]:
+        return list(self._named)
+
+    def parameters(self) -> list[Parameter]:
+        return list(self._named.values())
+
+    # Gradient application ---------------------------------------------------
+    def zero_grad(self) -> None:
+        for param in self._named.values():
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using each parameter's accumulated ``.grad``."""
+        grads = {}
+        for name, param in self._named.items():
+            if param.grad is None:
+                raise RuntimeError(f"parameter {name} has no gradient; run backward first")
+            grads[name] = param.grad
+        self.step_with(grads)
+
+    def step_with(self, named_grads: dict[str, np.ndarray]) -> None:
+        """Apply one update from externally supplied gradients.
+
+        This is the entry point recovery uses: decompressed differential
+        gradients keyed by parameter name.
+        """
+        unknown = set(named_grads) - set(self._named)
+        if unknown:
+            raise KeyError(f"gradients for unknown parameters: {sorted(unknown)}")
+        missing = set(self._named) - set(named_grads)
+        if missing:
+            raise KeyError(f"missing gradients for: {sorted(missing)}")
+        self.step_count += 1
+        for name, param in self._named.items():
+            grad = np.asarray(named_grads[name], dtype=np.float64)
+            if grad.shape != param.data.shape:
+                raise ValueError(
+                    f"gradient shape {grad.shape} != parameter shape "
+                    f"{param.data.shape} for {name}"
+                )
+            self._update_param(name, param, grad)
+
+    def _update_param(self, name: str, param: Parameter, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    # State round-trip --------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable optimizer state: hyperparameters + per-param slots."""
+        return {
+            "type": type(self).__name__,
+            "lr": self.lr,
+            "step_count": self.step_count,
+            "slots": {
+                name: {k: v.copy() for k, v in self._slots(name).items()}
+                for name in self._named
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if state.get("type") != type(self).__name__:
+            raise ValueError(
+                f"optimizer type mismatch: checkpoint {state.get('type')!r} "
+                f"vs live {type(self).__name__!r}"
+            )
+        missing = set(self._named) - set(state["slots"])
+        if missing:
+            raise KeyError(f"optimizer state missing slots for: {sorted(missing)}")
+        self.lr = float(state["lr"])
+        self.step_count = int(state["step_count"])
+        for name in self._named:
+            self._load_slots(name, state["slots"][name])
+
+    def _slots(self, name: str) -> dict[str, np.ndarray]:
+        """Per-parameter auxiliary arrays (e.g. Adam moments)."""
+        raise NotImplementedError
+
+    def _load_slots(self, name: str, slots: dict[str, np.ndarray]) -> None:
+        raise NotImplementedError
+
+    def state_bytes(self) -> int:
+        """Total bytes of auxiliary state (0 for plain SGD, 2 Psi for Adam)."""
+        return sum(
+            arr.nbytes for name in self._named for arr in self._slots(name).values()
+        )

@@ -1,0 +1,49 @@
+"""SGD with optional momentum and weight decay.
+
+With ``momentum == 0`` the update is *linear* in the gradient, which makes
+differential merging exactly associative — the configuration where the
+parallel recovery tree (Fig. "Parallel Fast Recovery") is exact even
+across optimizer steps.  Tests use this property.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+from repro.tensor.parameter import Parameter
+
+
+class SGD(Optimizer):
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity = (
+            {name: np.zeros_like(p.data) for name, p in self._named.items()}
+            if momentum
+            else {}
+        )
+
+    def _update_param(self, name: str, param: Parameter, grad: np.ndarray) -> None:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum:
+            velocity = self._velocity[name]
+            velocity *= self.momentum
+            velocity += grad
+            param.data -= self.lr * velocity
+        else:
+            param.data -= self.lr * grad
+
+    def _slots(self, name: str) -> dict[str, np.ndarray]:
+        if self.momentum:
+            return {"velocity": self._velocity[name]}
+        return {}
+
+    def _load_slots(self, name: str, slots: dict[str, np.ndarray]) -> None:
+        if self.momentum:
+            np.copyto(self._velocity[name], slots["velocity"])

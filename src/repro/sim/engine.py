@@ -1,0 +1,179 @@
+"""Per-iteration training-timeline simulator.
+
+A light discrete-event model: serial FIFO *resources* (PCIe, SSD, network,
+CPU) track when each channel becomes free; the training clock advances one
+iteration at a time, and the checkpointing strategy schedules asynchronous
+work on the resources and reports *stalls* — the seconds training had to
+wait, attributed by cause.  This is the machinery behind every timing
+figure: total time of 1000 iterations (Exps. 1-2), overhead at a given
+frequency (Fig. 1, Exps. 4/8), and the steady-state inputs of the failure
+metrics (Exps. 3/9/10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.workload import Workload
+
+
+class Resource:
+    """A serial FIFO channel (one transfer at a time, back-to-back)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.free_at = 0.0
+        self.busy_time = 0.0
+        self.bytes_moved = 0.0
+        self.op_count = 0
+
+    def schedule(self, ready: float, duration: float, nbytes: float = 0.0
+                 ) -> tuple[float, float]:
+        """Enqueue an operation that becomes ready at ``ready``.
+
+        Returns ``(start, end)``; the channel serves FIFO, so the op starts
+        at ``max(ready, free_at)``.
+        """
+        if duration < 0:
+            raise ValueError(f"negative duration on {self.name}: {duration}")
+        start = max(ready, self.free_at)
+        end = start + duration
+        self.free_at = end
+        self.busy_time += duration
+        self.bytes_moved += nbytes
+        self.op_count += 1
+        return start, end
+
+    def backlog(self, now: float) -> float:
+        """Seconds of queued work not yet completed at time ``now``."""
+        return max(0.0, self.free_at - now)
+
+
+@dataclass
+class SimResult:
+    """Outcome of simulating ``iterations`` training iterations."""
+
+    iterations: int
+    total_time: float
+    compute_time: float          # iterations x baseline iteration time
+    stall_time: float
+    stalls_by_cause: dict[str, float] = field(default_factory=dict)
+    bytes_to_storage: float = 0.0
+    bytes_over_pcie: float = 0.0
+    bytes_over_network: float = 0.0
+    checkpoint_counts: dict[str, int] = field(default_factory=dict)
+    #: Busy fraction of each channel over the run (diagnostics: a channel
+    #: near 1.0 is the bottleneck that backpressure stalls come from).
+    resource_utilization: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def iter_time_eff(self) -> float:
+        """Average wall time per iteration including checkpoint overhead."""
+        return self.total_time / self.iterations if self.iterations else 0.0
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Checkpointing overhead relative to checkpoint-free training."""
+        if self.compute_time == 0:
+            return 0.0
+        return self.total_time / self.compute_time - 1.0
+
+
+class TrainingSim:
+    """Simulate a training run under one checkpointing strategy.
+
+    The baseline iteration time (compute + the training job's own exposed
+    gradient-synchronization time) is identical across strategies, so the
+    *relative* numbers the paper reports come out of the stalls alone.
+    """
+
+    def __init__(self, workload: Workload, strategy):
+        self.workload = workload
+        self.strategy = strategy
+        cluster = workload.cluster
+        self.pcie = Resource("pcie")
+        self.ssd = Resource("ssd")
+        self.network = Resource("network")
+        self.cpu = Resource("cpu")
+        self.now = 0.0
+        self._stalls: dict[str, float] = {}
+        strategy.bind(self)
+
+    # Strategy-facing API ------------------------------------------------------
+    @property
+    def effective_now(self) -> float:
+        """Current time including stalls recorded in this callback."""
+        return self.now + self._pending_stall
+
+    def stall(self, cause: str, seconds: float) -> None:
+        """Record training blocked for ``seconds`` attributed to ``cause``."""
+        if seconds < 0:
+            raise ValueError(f"negative stall: {seconds}")
+        if seconds == 0.0:
+            return
+        self._stalls[cause] = self._stalls.get(cause, 0.0) + seconds
+        self._pending_stall += seconds
+
+    def wait_for(self, resource: Resource, cause: str) -> None:
+        """Block training until ``resource`` drains (backpressure stall)."""
+        self.stall(cause, resource.backlog(self.now + self._pending_stall))
+
+    # Main loop -------------------------------------------------------------------
+    def baseline_iter_time(self) -> float:
+        """Compute + exposed gradient-sync time, identical for all methods."""
+        workload = self.workload
+        overlap_window = workload.cost.backward_fraction * workload.iter_time
+        exposed_sync = max(0.0, workload.sync_time() - overlap_window)
+        compress = (workload.gradient_compress_time()
+                    if workload.rho is not None else 0.0)
+        return workload.iter_time + exposed_sync + compress
+
+    def run(self, iterations: int) -> SimResult:
+        if iterations <= 0:
+            raise ValueError(f"iterations must be > 0, got {iterations}")
+        base = self.baseline_iter_time()
+        workload = self.workload
+        nodes = workload.cluster.num_nodes
+        sync_payload = (workload.synced_gradient_bytes()
+                        if workload.rho is not None
+                        else workload.dense_gradient_bytes)
+        sync_bytes = 2.0 * sync_payload * (nodes - 1) / nodes if nodes > 1 else 0.0
+        self._pending_stall = 0.0
+        self.strategy.on_start()
+        for index in range(iterations):
+            self._pending_stall = 0.0
+            self.strategy.before_iteration(index)
+            self.now += base + self._pending_stall
+            # The training job's own gradient synchronization occupies the
+            # network every iteration — checkpoint traffic routed there
+            # (Gemini replication, remote storage) contends with it.
+            if sync_bytes:
+                self.network.schedule(
+                    self.now - base, sync_bytes / workload.cluster.network_bandwidth,
+                    nbytes=sync_bytes,
+                )
+            self._pending_stall = 0.0
+            self.strategy.after_iteration(index)
+            self.now += self._pending_stall
+        self._pending_stall = 0.0
+        self.strategy.on_finish(final_iteration=iterations - 1)
+        self.now += self._pending_stall
+        stall_total = sum(self._stalls.values())
+        wall = self.now if self.now > 0 else 1.0
+        return SimResult(
+            iterations=iterations,
+            total_time=self.now,
+            compute_time=base * iterations,
+            stall_time=stall_total,
+            stalls_by_cause=dict(self._stalls),
+            bytes_to_storage=self.ssd.bytes_moved,
+            bytes_over_pcie=self.pcie.bytes_moved,
+            bytes_over_network=self.network.bytes_moved,
+            checkpoint_counts=self.strategy.checkpoint_counts(),
+            resource_utilization={
+                resource.name: min(1.0, resource.busy_time / wall)
+                for resource in (self.pcie, self.ssd, self.network, self.cpu)
+            },
+        )
+
+    _pending_stall: float = 0.0

@@ -1,0 +1,80 @@
+"""Failure injection (Exps. 3, 9, 10).
+
+The paper simulates failures "adhering to a fixed MTBF"; we provide that
+deterministic schedule plus an exponential (Poisson-process) variant, and
+a software/hardware kind assignment for the LowDiff+ two-tier recovery
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.rng import Rng
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    time_s: float
+    kind: str  # "hardware" | "software"
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """An ordered list of failure events within a horizon."""
+
+    horizon_s: float
+    events: tuple[FailureEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        check_positive("horizon_s", self.horizon_s)
+        last = 0.0
+        for event in self.events:
+            if event.time_s <= last:
+                raise ValueError("failure events must be strictly increasing in time")
+            if event.kind not in ("hardware", "software"):
+                raise ValueError(f"unknown failure kind {event.kind!r}")
+            last = event.time_s
+
+    @property
+    def count(self) -> int:
+        return len(self.events)
+
+    def kinds(self) -> dict[str, int]:
+        out = {"hardware": 0, "software": 0}
+        for event in self.events:
+            out[event.kind] += 1
+        return out
+
+
+def fixed_mtbf_schedule(mtbf_s: float, horizon_s: float,
+                        kind: str = "hardware") -> FailureSchedule:
+    """Failures at exactly ``mtbf, 2*mtbf, ...`` — the paper's methodology."""
+    check_positive("mtbf_s", mtbf_s)
+    check_positive("horizon_s", horizon_s)
+    events = []
+    t = mtbf_s
+    while t < horizon_s:
+        events.append(FailureEvent(time_s=t, kind=kind))
+        t += mtbf_s
+    return FailureSchedule(horizon_s=horizon_s, events=tuple(events))
+
+
+def exponential_mtbf_schedule(mtbf_s: float, horizon_s: float, rng: Rng,
+                              software_fraction: float = 0.0) -> FailureSchedule:
+    """Poisson failures with mean gap ``mtbf_s``; a ``software_fraction`` of
+    events are software failures (process death, CPU memory intact)."""
+    check_positive("mtbf_s", mtbf_s)
+    check_positive("horizon_s", horizon_s)
+    if not 0.0 <= software_fraction <= 1.0:
+        raise ValueError(f"software_fraction must be in [0,1], got {software_fraction}")
+    events = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(mtbf_s))
+        if t >= horizon_s:
+            break
+        kind = "software" if float(rng.random()) < software_fraction else "hardware"
+        events.append(FailureEvent(time_s=t, kind=kind))
+    return FailureSchedule(horizon_s=horizon_s, events=tuple(events))

@@ -1,0 +1,114 @@
+"""Failure-run metrics: wasted time and effective training time ratio.
+
+Definitions follow the paper:
+
+* **wasted time** (§II-B, Exp. 3) — "the sum of the recovery time from the
+  latest checkpoint and the steady-state overhead"; the recovery term
+  includes re-processing the lost work (the ``b/2`` term of Eq. (3));
+* **effective training time ratio** (Gemini's metric, Exps. 9-10) — the
+  fraction of wall-clock time spent making *new* training progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import SimResult
+from repro.sim.failures import FailureSchedule
+from repro.sim.strategies.base import CheckpointStrategy, FailureProfile
+
+
+@dataclass(frozen=True)
+class FailureRunMetrics:
+    """Outcome of a run-with-failures accounting."""
+
+    horizon_s: float
+    num_failures: int
+    productive_time_s: float      # time spent making new progress
+    redo_time_s: float            # lost work re-processed
+    recovery_time_s: float        # checkpoint loads/merges/transfers
+    overhead_time_s: float        # steady-state checkpointing overhead
+    wasted_time_s: float          # redo + recovery + overhead
+
+    @property
+    def effective_ratio(self) -> float:
+        return self.productive_time_s / self.horizon_s if self.horizon_s else 0.0
+
+
+def wasted_time(steady: SimResult, profile: FailureProfile, mtbf_s: float,
+                horizon_s: float, num_gpus: int = 1) -> float:
+    """Paper-style aggregate wasted GPU-time over a job of ``horizon_s``.
+
+    ``num_gpus`` scales the result to GPU-hours lost across the cluster,
+    matching Eq. (3)'s ``N`` factor.
+    """
+    if mtbf_s <= 0 or horizon_s <= 0:
+        raise ValueError("mtbf_s and horizon_s must be > 0")
+    failures = horizon_s / mtbf_s
+    per_failure = (profile.lost_iterations * steady.iter_time_eff
+                   + profile.recovery_time_s)
+    overhead = horizon_s * (1.0 - 1.0 / (1.0 + steady.overhead_fraction))
+    return num_gpus * (failures * per_failure + overhead)
+
+
+def run_with_failures(steady: SimResult, strategy: CheckpointStrategy,
+                      schedule: FailureSchedule,
+                      restart_overhead_s: float = 0.0) -> FailureRunMetrics:
+    """Account a training run of ``schedule.horizon_s`` wall-clock seconds.
+
+    Walks the failure schedule: between failures, training proceeds at the
+    steady-state effective iteration time (which already folds in the
+    checkpointing overhead); each failure costs ``restart_overhead_s``
+    (job restart: scheduler, NCCL re-init, data-loader warmup) plus its
+    kind-specific recovery time plus re-processing of the lost iterations.
+    """
+    iter_eff = steady.iter_time_eff
+    base = steady.compute_time / steady.iterations
+    overhead_fraction_of_time = 1.0 - base / iter_eff if iter_eff else 0.0
+
+    redo_total = 0.0
+    recovery_total = 0.0
+    clock = 0.0
+    training_time = 0.0
+    for event in schedule.events:
+        if event.time_s <= clock:
+            # Failure struck during a previous failure's recovery window;
+            # it costs another recovery but no extra lost training.
+            profile = strategy.failure_profile(kind=event.kind)
+            cost = profile.recovery_time_s + restart_overhead_s
+            recovery_total += cost
+            clock += cost
+            continue
+        training_time += event.time_s - clock
+        clock = event.time_s
+        profile = strategy.failure_profile(kind=event.kind)
+        lost = profile.lost_iterations
+        if lost == float("inf"):
+            # No checkpointing: all progress since job start is lost.
+            redo_total += training_time
+        else:
+            redo_total += min(lost * iter_eff, training_time)
+        cost = profile.recovery_time_s + restart_overhead_s
+        recovery_total += cost
+        clock += cost
+    if clock < schedule.horizon_s:
+        training_time += schedule.horizon_s - clock
+
+    overhead_total = training_time * overhead_fraction_of_time
+    productive = max(0.0, training_time - redo_total - overhead_total)
+    wasted = redo_total + recovery_total + overhead_total
+    return FailureRunMetrics(
+        horizon_s=schedule.horizon_s,
+        num_failures=schedule.count,
+        productive_time_s=productive,
+        redo_time_s=redo_total,
+        recovery_time_s=recovery_total,
+        overhead_time_s=overhead_total,
+        wasted_time_s=wasted,
+    )
+
+
+def effective_training_ratio(steady: SimResult, strategy: CheckpointStrategy,
+                             schedule: FailureSchedule) -> float:
+    """Convenience wrapper for Exps. 9-10."""
+    return run_with_failures(steady, strategy, schedule).effective_ratio

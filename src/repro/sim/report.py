@@ -1,0 +1,45 @@
+"""Human-readable reports over simulation results."""
+
+from __future__ import annotations
+
+from repro.sim.engine import SimResult
+from repro.utils.units import format_bytes, format_seconds
+
+
+def summarize(result: SimResult, name: str = "run") -> str:
+    """Multi-line summary: timing, stall attribution, channel utilization.
+
+    The stall table answers "where did the overhead go"; the utilization
+    table answers "which channel would break first if I raised the
+    checkpoint frequency".
+    """
+    lines = [
+        f"== simulation summary: {name} ==",
+        f"iterations        : {result.iterations}",
+        f"total time        : {format_seconds(result.total_time)} "
+        f"({format_seconds(result.iter_time_eff)}/iter)",
+        f"checkpoint overhead: {result.overhead_fraction * 100:.2f}% "
+        f"({format_seconds(result.stall_time)} stalled)",
+    ]
+    if result.stalls_by_cause:
+        lines.append("stalls by cause   :")
+        for cause, seconds in sorted(result.stalls_by_cause.items(),
+                                     key=lambda kv: -kv[1]):
+            share = seconds / result.stall_time if result.stall_time else 0.0
+            lines.append(f"  {cause:24s} {format_seconds(seconds):>10s} "
+                         f"({share:5.1%})")
+    lines.append("channel utilization:")
+    for channel, utilization in sorted(result.resource_utilization.items(),
+                                       key=lambda kv: -kv[1]):
+        bar = "#" * int(round(utilization * 20))
+        lines.append(f"  {channel:8s} {utilization:6.1%} |{bar:<20s}|")
+    lines.append(
+        f"traffic           : storage {format_bytes(result.bytes_to_storage)}, "
+        f"pcie {format_bytes(result.bytes_over_pcie)}, "
+        f"network {format_bytes(result.bytes_over_network)}"
+    )
+    if result.checkpoint_counts:
+        counts = ", ".join(f"{k}={v}" for k, v in
+                           sorted(result.checkpoint_counts.items()))
+        lines.append(f"checkpoints       : {counts}")
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Strategy base class and failure profiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.workload import Workload
+
+
+@dataclass(frozen=True)
+class FailureProfile:
+    """What one failure costs under a strategy (Exp. 3/9/10 inputs).
+
+    Attributes
+    ----------
+    lost_iterations:
+        Expected training iterations whose progress is not recoverable
+        (work to redo after restoring the latest checkpoint).
+    recovery_time_s:
+        Expected wall time to restore the latest recoverable state
+        (loads, merges, transfers) before training can resume.
+    """
+
+    lost_iterations: float
+    recovery_time_s: float
+
+
+class CheckpointStrategy:
+    """Base: no-op hooks + bookkeeping shared by every method.
+
+    ``remote_storage=True`` (where a subclass exposes it) retargets
+    persistence from the local SSD to remote storage over the cluster
+    network — the paper's "local or remote storage" choice.
+    """
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.sim = None
+        self.workload: Workload | None = None
+        self._counts: dict[str, int] = {}
+        self.remote_storage = False
+
+    # Engine wiring ---------------------------------------------------------
+    def bind(self, sim) -> None:
+        self.sim = sim
+        self.workload = sim.workload
+
+    def count(self, key: str, increment: int = 1) -> None:
+        self._counts[key] = self._counts.get(key, 0) + increment
+
+    def checkpoint_counts(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    # Hook points -----------------------------------------------------------------
+    def on_start(self) -> None:
+        pass
+
+    def before_iteration(self, index: int) -> None:
+        pass
+
+    def after_iteration(self, index: int) -> None:
+        pass
+
+    def on_finish(self, final_iteration: int) -> None:
+        pass
+
+    # Failure/recovery interface ------------------------------------------------------
+    def failure_profile(self, kind: str = "hardware") -> FailureProfile:
+        """Expected failure cost; ``kind`` is ``"hardware"`` or ``"software"``."""
+        raise NotImplementedError
+
+    def storage_bytes_per_iter(self) -> float:
+        """Average durable bytes written per training iteration."""
+        return 0.0
+
+    # Shared helpers ---------------------------------------------------------------------
+    def _persist_channel(self):
+        """(resource, duration_fn) for checkpoint persistence."""
+        workload = self.workload
+        if self.remote_storage:
+            effective = (workload.cluster.network_bandwidth
+                         * workload.cost.remote_storage_efficiency)
+            return self.sim.network, (
+                lambda nbytes: nbytes / effective
+                + workload.cost.serialize_time(nbytes)
+            )
+        return self.sim.ssd, workload.persist_time
+
+    def _schedule_persist(self, nbytes: float) -> None:
+        resource, duration = self._persist_channel()
+        resource.schedule(self.sim.now, duration(nbytes), nbytes=nbytes)
+
+    def _snapshot_exposed(self, nbytes: float) -> float:
+        """Exposed time of a GPU->CPU snapshot overlapped with training.
+
+        The copy overlaps the window in which parameters are stable (the
+        next iteration up to its update phase); the excess blocks, and the
+        overlapped part still costs ``pcie_interference`` of its duration
+        in DMA contention with data loading (same effect LowDiff+ pays for
+        its layer-wise snapshots).
+        """
+        workload = self.workload
+        window = workload.cost.backward_fraction * workload.iter_time
+        transfer = workload.snapshot_time(nbytes)
+        return (max(0.0, transfer - window)
+                + workload.cost.pcie_interference * min(transfer, window))
+
+
+class NoCheckpoint(CheckpointStrategy):
+    """W/O CKPT: the training-speed upper bound; a failure loses everything."""
+
+    name = "none"
+
+    def failure_profile(self, kind: str = "hardware") -> FailureProfile:
+        return FailureProfile(lost_iterations=float("inf"), recovery_time_s=0.0)

@@ -1,0 +1,45 @@
+"""``torch.save``-style synchronous full checkpointing (the "Baseline")."""
+
+from __future__ import annotations
+
+from repro.sim.strategies.base import CheckpointStrategy, FailureProfile
+
+
+class FullSyncStrategy(CheckpointStrategy):
+    """Every ``every`` iterations, block training for snapshot + write."""
+
+    name = "torch.save"
+
+    def __init__(self, every: int = 10, remote_storage: bool = False):
+        super().__init__()
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.every = int(every)
+        self.remote_storage = bool(remote_storage)
+
+    def after_iteration(self, index: int) -> None:
+        if (index + 1) % self.every:
+            return
+        workload, sim = self.workload, self.sim
+        size = workload.full_checkpoint_bytes
+        # Fully synchronous: GPU->CPU copy, then the write, all on the
+        # training critical path (nothing is pipelined).  Training blocks
+        # until each operation *completes* on its channel, so queueing
+        # behind other traffic (e.g. gradient sync on a remote-storage
+        # network) is part of the stall.
+        copy_time = workload.snapshot_time(size)
+        sim.pcie.schedule(sim.effective_now, copy_time, nbytes=size)
+        sim.stall("snapshot", copy_time)
+        resource, duration = self._persist_channel()
+        _, end = resource.schedule(sim.effective_now, duration(size), nbytes=size)
+        sim.stall("persist", end - sim.effective_now)
+        self.count("full")
+
+    def failure_profile(self, kind: str = "hardware") -> FailureProfile:
+        return FailureProfile(
+            lost_iterations=self.every / 2.0,
+            recovery_time_s=self.workload.load_full_time(),
+        )
+
+    def storage_bytes_per_iter(self) -> float:
+        return self.workload.full_checkpoint_bytes / self.every

@@ -1,0 +1,63 @@
+"""Gemini: checkpointing to (remote) CPU memory (Wang et al., SOSP'23).
+
+Each checkpoint snapshots to local host memory over PCIe and replicates a
+fraction of the bytes to peer machines over the cross-node network.
+Gemini's traffic scheduler interleaves replication with the training
+job's communication gaps, so only traffic beyond the idle window stalls;
+locality-aware placement keeps ``remote_fraction`` of the state crossing
+NICs (the calibration constant documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.sim.strategies.base import CheckpointStrategy, FailureProfile
+
+
+class GeminiStrategy(CheckpointStrategy):
+    name = "gemini"
+
+    def __init__(self, every: int = 1, remote_fraction: float = 0.6):
+        super().__init__()
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        if not 0.0 <= remote_fraction <= 1.0:
+            raise ValueError(f"remote_fraction must be in [0,1], got {remote_fraction}")
+        self.every = int(every)
+        self.remote_fraction = float(remote_fraction)
+
+    def after_iteration(self, index: int) -> None:
+        if (index + 1) % self.every:
+            return
+        workload, sim = self.workload, self.sim
+        size = workload.full_checkpoint_bytes
+        # Snapshot to local CPU memory (overlapped; excess stalls).
+        sim.stall("snapshot", self._snapshot_exposed(size))
+        sim.pcie.schedule(sim.now, workload.snapshot_time(size), nbytes=size)
+        # Replicate to peer CPU memory: the scheduler absorbs traffic into
+        # the network's idle window; the rest backpressures training.
+        remote_bytes = size * self.remote_fraction / workload.cluster.num_nodes
+        transfer = remote_bytes / workload.cluster.network_bandwidth
+        idle_window = (workload.cost.network_idle_fraction
+                       * self.every * workload.iter_time)
+        exposed = max(0.0, transfer - idle_window)
+        sim.network.schedule(sim.now, transfer, nbytes=remote_bytes)
+        sim.stall("replicate", exposed)
+        self.count("memory_ckpt")
+
+    def failure_profile(self, kind: str = "hardware") -> FailureProfile:
+        workload = self.workload
+        size = workload.full_checkpoint_bytes
+        if kind == "software":
+            # Local CPU memory intact: reload over PCIe.
+            recovery = workload.snapshot_time(size)
+        else:
+            # Machine lost: fetch the replica from a peer's CPU memory.
+            recovery = (size / workload.cluster.network_bandwidth
+                        + workload.snapshot_time(size))
+        return FailureProfile(
+            lost_iterations=self.every / 2.0,
+            recovery_time_s=recovery,
+        )
+
+    def storage_bytes_per_iter(self) -> float:
+        return 0.0  # memory tier; durable persistence is out of band

@@ -1,0 +1,110 @@
+"""LowDiff in the performance model (Algorithm 1 + §IV).
+
+Per iteration the training side pays only the zero-copy enqueue (an IPC
+handle, ~hundreds of microseconds); the checkpointing side offloads the
+synchronized compressed gradient over PCIe and, every ``batch_size``
+gradients, writes one batched differential to the SSD — all asynchronous.
+Stalls appear only when a channel's sustained demand exceeds capacity
+(queue backpressure, bounded by host-memory budget) or when the periodic
+full snapshot's non-overlapped part blocks.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import CheckpointConfig
+from repro.sim.strategies.base import CheckpointStrategy, FailureProfile
+
+
+class LowDiffStrategy(CheckpointStrategy):
+    name = "lowdiff"
+
+    def __init__(self, full_every: int = 20, batch_size: int = 2,
+                 diff_every: int = 1, zero_copy: bool = True,
+                 backlog_budget_s: float = 2.0, remote_storage: bool = False):
+        super().__init__()
+        if full_every < 1 or batch_size < 1 or diff_every < 1:
+            raise ValueError("checkpoint intervals must be >= 1")
+        self.remote_storage = bool(remote_storage)
+        self.full_every = int(full_every)
+        self.batch_size = int(batch_size)
+        self.diff_every = int(diff_every)
+        self.zero_copy = bool(zero_copy)
+        #: Max seconds of queued async work tolerated before backpressure
+        #: (models the bounded reusing queue / CPU buffer).
+        self.backlog_budget_s = float(backlog_budget_s)
+        self._in_batch = 0
+
+    @classmethod
+    def from_config(cls, config: CheckpointConfig, **kwargs) -> "LowDiffStrategy":
+        return cls(full_every=config.full_every_iters,
+                   batch_size=config.batch_size, **kwargs)
+
+    def after_iteration(self, index: int) -> None:
+        workload, sim = self.workload, self.sim
+        step = index + 1
+        if step % self.diff_every == 0:
+            payload = workload.synced_gradient_bytes()
+            # Training-side cost: enqueue (zero-copy handle, or a real copy
+            # in the ablation).
+            if self.zero_copy:
+                sim.stall("enqueue", workload.cost.queue_overhead_seconds)
+            else:
+                sim.stall("queue-copy", payload / workload.cost.queue_copy_bandwidth)
+            # Checkpointing side, off the critical path: offload + batch.
+            sim.pcie.schedule(sim.now, workload.snapshot_time(payload),
+                              nbytes=payload)
+            self._in_batch += 1
+            if self._in_batch >= self.batch_size:
+                batched = workload.batched_diff_bytes(self.batch_size)
+                self._schedule_persist(batched)
+                self._in_batch = 0
+                self.count("diff_write")
+            self.count("diff")
+            # Backpressure only when async channels fall far behind.
+            persist_resource, _ = self._persist_channel()
+            for resource, cause in ((sim.pcie, "pcie-backpressure"),
+                                    (persist_resource, "persist-backpressure")):
+                backlog = resource.backlog(sim.now)
+                if backlog > self.backlog_budget_s:
+                    sim.stall(cause, backlog - self.backlog_budget_s)
+        if step % self.full_every == 0:
+            size = workload.full_checkpoint_bytes
+            sim.stall("full-snapshot", self._snapshot_exposed(size))
+            sim.pcie.schedule(sim.now, workload.snapshot_time(size), nbytes=size)
+            self._schedule_persist(size)
+            self.count("full")
+
+    def on_finish(self, final_iteration: int) -> None:
+        if self._in_batch:
+            batched = self.workload.batched_diff_bytes(self._in_batch)
+            self._schedule_persist(batched)
+            self._in_batch = 0
+            self.count("diff_write")
+
+    # Failure/recovery ---------------------------------------------------------
+    def failure_profile(self, kind: str = "hardware",
+                        parallel_recovery: bool = True) -> FailureProfile:
+        workload = self.workload
+        batches_to_replay = (self.full_every / (self.diff_every * self.batch_size)) / 2.0
+        merge_each = workload.merge_diff_time(self.batch_size)
+        if parallel_recovery and batches_to_replay > 1:
+            import math
+            depth = math.ceil(math.log2(max(2.0, batches_to_replay)))
+            replay = depth * merge_each
+        else:
+            replay = batches_to_replay * merge_each
+        return FailureProfile(
+            # In-flight (unwritten) batch is lost: b/2 expected, plus the
+            # half diff interval.
+            lost_iterations=self.diff_every / 2.0
+            + (self.batch_size - 1) / 2.0 * self.diff_every,
+            recovery_time_s=workload.load_full_time() + replay,
+        )
+
+    def storage_bytes_per_iter(self) -> float:
+        workload = self.workload
+        return (
+            workload.batched_diff_bytes(self.batch_size)
+            / (self.batch_size * self.diff_every)
+            + workload.full_checkpoint_bytes / self.full_every
+        )

@@ -1,0 +1,67 @@
+"""Naïve differential checkpointing (Check-N-Run applied to dense DNNs).
+
+Every ``diff_every`` iterations it (a) *computes* the differential —
+subtract the retained previous state (3 Psi) and top-k it — on the GPU
+critical path (Challenge 1, Fig. 1(a)), and (b) writes a differential
+whose optimizer half is dense (Challenge 2, Fig. 1(b)); the next model
+update must wait for the differential to be taken (the WAR dependency of
+§III-D), so both costs surface as stalls.
+"""
+
+from __future__ import annotations
+
+from repro.sim.strategies.base import CheckpointStrategy, FailureProfile
+
+
+class NaiveDCStrategy(CheckpointStrategy):
+    name = "naive_dc"
+
+    def __init__(self, full_every: int = 20, diff_every: int = 1):
+        super().__init__()
+        if full_every < 1 or diff_every < 1:
+            raise ValueError("checkpoint intervals must be >= 1")
+        self.full_every = int(full_every)
+        self.diff_every = int(diff_every)
+
+    def after_iteration(self, index: int) -> None:
+        workload, sim = self.workload, self.sim
+        step = index + 1
+        if step % self.diff_every == 0:
+            # (a) Differential computation on the critical path: the state
+            # from the previous checkpoint must be retained in GPU memory,
+            # and the update of iteration t+1 cannot start until the diff
+            # of iteration t is taken.
+            compress = workload.naive_dc_compress_time()
+            sim.stall("diff-compress", compress)
+            # (b) Write the differential; SSD backpressure blocks like a
+            # synchronous write beyond one interval of pipelining.
+            diff_bytes = workload.naive_dc_diff_bytes()
+            sim.wait_for(sim.ssd, "diff-write-backpressure")
+            sim.stall("snapshot", self._snapshot_exposed(diff_bytes))
+            sim.pcie.schedule(sim.now, workload.snapshot_time(diff_bytes),
+                              nbytes=diff_bytes)
+            sim.ssd.schedule(sim.now, workload.persist_time(diff_bytes),
+                             nbytes=diff_bytes)
+            self.count("diff")
+        if step % self.full_every == 0:
+            size = workload.full_checkpoint_bytes
+            sim.wait_for(sim.ssd, "full-backpressure")
+            sim.stall("snapshot", self._snapshot_exposed(size))
+            sim.pcie.schedule(sim.now, workload.snapshot_time(size), nbytes=size)
+            sim.ssd.schedule(sim.now, workload.persist_time(size), nbytes=size)
+            self.count("full")
+
+    def failure_profile(self, kind: str = "hardware") -> FailureProfile:
+        workload = self.workload
+        diffs_to_replay = (self.full_every / self.diff_every) / 2.0
+        merge_each = (workload.read_time(workload.naive_dc_diff_bytes())
+                      + workload.cost.compress_time(workload.psi))
+        return FailureProfile(
+            lost_iterations=self.diff_every / 2.0,
+            recovery_time_s=workload.load_full_time() + diffs_to_replay * merge_each,
+        )
+
+    def storage_bytes_per_iter(self) -> float:
+        workload = self.workload
+        return (workload.naive_dc_diff_bytes() / self.diff_every
+                + workload.full_checkpoint_bytes / self.full_every)

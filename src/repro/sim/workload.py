@@ -1,0 +1,147 @@
+"""Workload: a model profile bound to a cluster and a compression ratio.
+
+Derives every size and duration the checkpointing strategies need:
+gradient/checkpoint byte counts (dense and sparsified), per-layer sizes
+for the layer-wise pipeline, synchronization times, and recovery costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.cluster import ClusterSpec, CostModel, DEFAULT_COST_MODEL
+from repro.tensor.models.registry import ModelProfile, get_profile
+
+#: Serialized bytes per retained sparse coordinate: int32 index + fp32 value.
+SPARSE_BYTES_PER_ELEMENT = 8
+#: Dense training precision on the wire/storage (fp32).
+DENSE_BYTES_PER_ELEMENT = 4
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One (model, cluster, rho) evaluation point."""
+
+    profile: ModelProfile
+    cluster: ClusterSpec
+    rho: float | None = None           # None = no gradient compression
+    cost: CostModel = field(default=DEFAULT_COST_MODEL)
+
+    @classmethod
+    def create(cls, model_name: str, cluster: ClusterSpec,
+               rho: float | None = 0.01, cost: CostModel = DEFAULT_COST_MODEL
+               ) -> "Workload":
+        if rho is not None and not 0.0 < rho <= 1.0:
+            raise ValueError(f"rho must be in (0, 1], got {rho}")
+        return cls(profile=get_profile(model_name), cluster=cluster, rho=rho,
+                   cost=cost)
+
+    # Sizes -----------------------------------------------------------------
+    @property
+    def psi(self) -> int:
+        """Parameter count."""
+        return self.profile.params
+
+    @property
+    def full_checkpoint_bytes(self) -> float:
+        """3 Psi fp32: parameters + two Adam moments (Finding 2)."""
+        return 3 * self.psi * DENSE_BYTES_PER_ELEMENT
+
+    @property
+    def dense_gradient_bytes(self) -> float:
+        return self.psi * DENSE_BYTES_PER_ELEMENT
+
+    def union_density(self) -> float:
+        """Density of the synchronized sparse gradient.
+
+        Each of N workers contributes its own top-``rho`` coordinates;
+        the union has expected density ``1 - (1 - rho)^N`` (coordinate
+        overlap across workers is partial).
+        """
+        if self.rho is None:
+            return 1.0
+        n = self.cluster.num_gpus
+        return 1.0 - (1.0 - self.rho) ** n
+
+    def synced_gradient_bytes(self) -> float:
+        """Wire/storage size of one synchronized compressed gradient."""
+        if self.rho is None:
+            return self.dense_gradient_bytes
+        return self.union_density() * self.psi * SPARSE_BYTES_PER_ELEMENT
+
+    def batched_diff_bytes(self, batch_size: int) -> float:
+        """Size of ``batch_size`` accumulated gradients (union saturates)."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if self.rho is None:
+            return self.dense_gradient_bytes  # dense accumulation: same size
+        density = 1.0 - (1.0 - self.union_density()) ** batch_size
+        return density * self.psi * SPARSE_BYTES_PER_ELEMENT
+
+    def naive_dc_diff_bytes(self) -> float:
+        """Check-N-Run-style differential: sparsified parameter deltas +
+        *dense* optimizer deltas (Exp. 7's 34.4%-of-full observation)."""
+        rho = self.rho if self.rho is not None else 0.01
+        sparse_params = rho * self.psi * SPARSE_BYTES_PER_ELEMENT
+        dense_optimizer = 2 * self.psi * DENSE_BYTES_PER_ELEMENT
+        return sparse_params + dense_optimizer
+
+    # Durations ---------------------------------------------------------------
+    @property
+    def iter_time(self) -> float:
+        """Compute time of one iteration (fwd+bwd+update, no checkpointing)."""
+        return self.profile.iter_time_s
+
+    def sync_time(self) -> float:
+        """Gradient synchronization time per iteration (part of training).
+
+        Hierarchical collectives (NCCL-style): intra-node reduction rides
+        NVLink (cheap); the cross-node ring moves
+        ``2 * payload * (nodes-1)/nodes`` bytes through each node's NIC —
+        the slow link that bounds synchronization.
+        """
+        payload = self.synced_gradient_bytes() if self.rho is not None \
+            else self.dense_gradient_bytes
+        nodes = self.cluster.num_nodes
+        cross_node = 2.0 * payload * (nodes - 1) / nodes if nodes > 1 else 0.0
+        return cross_node / self.cluster.network_bandwidth \
+            + self.cluster.network_latency
+
+    def layer_sizes_bytes(self) -> np.ndarray:
+        """Per-layer gradient bytes, front-to-back (LowDiff+ pipeline)."""
+        return self.profile.layer_param_counts() * DENSE_BYTES_PER_ELEMENT
+
+    def snapshot_time(self, nbytes: float) -> float:
+        """GPU -> CPU copy time over PCIe."""
+        return nbytes / self.cluster.pcie_bandwidth
+
+    def persist_time(self, nbytes: float) -> float:
+        """CPU -> SSD write incl. serialization overhead."""
+        return nbytes / self.cluster.ssd_write_bandwidth \
+            + self.cost.serialize_time(nbytes)
+
+    def read_time(self, nbytes: float) -> float:
+        return nbytes / self.cluster.ssd_read_bandwidth
+
+    # Recovery costs (consumed by the wasted-time model and Exp. 5) -----------------
+    def load_full_time(self) -> float:
+        """R_F: read a full checkpoint and load it to the GPU."""
+        return self.read_time(self.full_checkpoint_bytes) \
+            + self.snapshot_time(self.full_checkpoint_bytes)
+
+    def merge_diff_time(self, batch_size: int = 1) -> float:
+        """R_D: read one (batched) differential and apply it."""
+        nbytes = self.batched_diff_bytes(batch_size)
+        apply_time = self.cost.compress_time(self.union_density() * self.psi
+                                             if self.rho is not None else self.psi)
+        return self.read_time(nbytes) + apply_time
+
+    def naive_dc_compress_time(self) -> float:
+        """Differential construction cost: subtract 3 Psi, top-k over Psi."""
+        return self.cost.compress_time(4 * self.psi)
+
+    def gradient_compress_time(self) -> float:
+        """Top-k over the local gradient (part of compressed training)."""
+        return self.cost.compress_time(self.psi)

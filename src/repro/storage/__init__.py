@@ -1,0 +1,39 @@
+"""Checkpoint storage: serialization, backends, and the checkpoint store.
+
+A pickle-free binary container format (JSON manifest + raw array blobs),
+pluggable backends (in-memory, local disk, bandwidth-throttled, fault-
+injecting), and a :class:`CheckpointStore` managing full/differential
+checkpoint series with manifests, retention and garbage collection.
+"""
+
+from repro.storage.serializer import (
+    pack_tree,
+    unpack_tree,
+    serialized_size,
+)
+from repro.storage.backends import (
+    StorageBackend,
+    InMemoryBackend,
+    LocalDiskBackend,
+    ThrottledBackend,
+    FlakyBackend,
+)
+from repro.storage.checkpoint_store import (
+    CheckpointStore,
+    FullCheckpointRecord,
+    DiffCheckpointRecord,
+)
+
+__all__ = [
+    "pack_tree",
+    "unpack_tree",
+    "serialized_size",
+    "StorageBackend",
+    "InMemoryBackend",
+    "LocalDiskBackend",
+    "ThrottledBackend",
+    "FlakyBackend",
+    "CheckpointStore",
+    "FullCheckpointRecord",
+    "DiffCheckpointRecord",
+]

@@ -1,0 +1,227 @@
+"""Storage backends: where checkpoint bytes land.
+
+``LocalDiskBackend`` is the paper's local-SSD target; ``InMemoryBackend``
+backs fast tests and the Gemini-style CPU-memory tier; ``ThrottledBackend``
+adds a bandwidth/latency cost model (virtual time, no sleeping) so the
+functional layer can report realistic write times; ``FlakyBackend``
+injects failures for the fault-tolerance tests.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+
+from repro.utils.validation import check_positive
+
+
+class StorageBackend:
+    """Abstract key→bytes store with write accounting."""
+
+    def __init__(self) -> None:
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.write_count = 0
+
+    # Subclass interface -------------------------------------------------------
+    def _write(self, key: str, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _read(self, key: str) -> bytes:
+        raise NotImplementedError
+
+    def exists(self, key: str) -> bool:
+        raise NotImplementedError
+
+    def delete(self, key: str) -> None:
+        raise NotImplementedError
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        raise NotImplementedError
+
+    # Public API with accounting --------------------------------------------------
+    def write(self, key: str, data: bytes) -> None:
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError(f"backend write expects bytes, got {type(data).__name__}")
+        self._write(key, bytes(data))
+        self.bytes_written += len(data)
+        self.write_count += 1
+
+    def read(self, key: str) -> bytes:
+        data = self._read(key)
+        self.bytes_read += len(data)
+        return data
+
+
+class InMemoryBackend(StorageBackend):
+    """Dict-backed store; also models a CPU-memory checkpoint tier."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._data: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+
+    def _write(self, key: str, data: bytes) -> None:
+        with self._lock:
+            self._data[key] = data
+
+    def _read(self, key: str) -> bytes:
+        with self._lock:
+            try:
+                return self._data[key]
+            except KeyError:
+                raise FileNotFoundError(f"no such checkpoint key: {key}") from None
+
+    def exists(self, key: str) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._data.pop(key, None)
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        with self._lock:
+            return sorted(k for k in self._data if k.startswith(prefix))
+
+    def total_stored_bytes(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._data.values())
+
+
+class LocalDiskBackend(StorageBackend):
+    """Filesystem store with atomic writes (tmp file + rename).
+
+    Atomicity matters: a failure mid-write must never leave a torn
+    checkpoint that recovery would then trust.
+    """
+
+    def __init__(self, root: str):
+        super().__init__()
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        if ".." in key.split("/") or key.startswith("/"):
+            raise ValueError(f"invalid checkpoint key: {key!r}")
+        return os.path.join(self.root, key)
+
+    def _write(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    def _read(self, key: str) -> bytes:
+        try:
+            with open(self._path(key), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            raise FileNotFoundError(f"no such checkpoint key: {key}") from None
+
+    def exists(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def delete(self, key: str) -> None:
+        try:
+            os.unlink(self._path(key))
+        except FileNotFoundError:
+            pass
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        keys = []
+        for dirpath, _, filenames in os.walk(self.root):
+            for filename in filenames:
+                full = os.path.join(dirpath, filename)
+                key = os.path.relpath(full, self.root).replace(os.sep, "/")
+                if key.startswith(prefix) and not key.endswith(".tmp"):
+                    keys.append(key)
+        return sorted(keys)
+
+
+class ThrottledBackend(StorageBackend):
+    """Wrap a backend with a virtual bandwidth/latency cost model.
+
+    Does not sleep; it accumulates the time writes *would* take at
+    ``bandwidth`` bytes/s plus ``latency`` per operation into
+    ``virtual_time_s``.  The functional checkpointers report this as their
+    persist cost, mirroring the paper's SSD-bound persistence.
+    """
+
+    def __init__(self, inner: StorageBackend, bandwidth: float, latency: float = 0.0):
+        super().__init__()
+        check_positive("bandwidth", bandwidth)
+        check_positive("latency", latency, strict=False)
+        self.inner = inner
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self.virtual_time_s = 0.0
+
+    def cost_of(self, nbytes: int) -> float:
+        return self.latency + nbytes / self.bandwidth
+
+    def _write(self, key: str, data: bytes) -> None:
+        self.inner.write(key, data)
+        self.virtual_time_s += self.cost_of(len(data))
+
+    def _read(self, key: str) -> bytes:
+        data = self.inner.read(key)
+        self.virtual_time_s += self.cost_of(len(data))
+        return data
+
+    def exists(self, key: str) -> bool:
+        return self.inner.exists(key)
+
+    def delete(self, key: str) -> None:
+        self.inner.delete(key)
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        return self.inner.list_keys(prefix)
+
+
+class FlakyBackend(StorageBackend):
+    """Fault injection: fail the N-th write (and optionally reads).
+
+    Used to verify that a failure mid-persist never corrupts the
+    checkpoint series the recovery path reads.
+    """
+
+    def __init__(self, inner: StorageBackend, fail_on_write: int | None = None,
+                 fail_on_read: int | None = None):
+        super().__init__()
+        self.inner = inner
+        self.fail_on_write = fail_on_write
+        self.fail_on_read = fail_on_read
+        self._writes_seen = 0
+        self._reads_seen = 0
+
+    def _write(self, key: str, data: bytes) -> None:
+        self._writes_seen += 1
+        if self.fail_on_write is not None and self._writes_seen == self.fail_on_write:
+            raise IOError(f"injected write failure on write #{self._writes_seen}")
+        self.inner.write(key, data)
+
+    def _read(self, key: str) -> bytes:
+        self._reads_seen += 1
+        if self.fail_on_read is not None and self._reads_seen == self.fail_on_read:
+            raise IOError(f"injected read failure on read #{self._reads_seen}")
+        return self.inner.read(key)
+
+    def exists(self, key: str) -> bool:
+        return self.inner.exists(key)
+
+    def delete(self, key: str) -> None:
+        self.inner.delete(key)
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        return self.inner.list_keys(prefix)

@@ -1,0 +1,189 @@
+"""Checkpoint store: full + differential series over a storage backend.
+
+Manages the on-storage layout the recovery process reads:
+
+* ``full/<step>.ckpt`` — full model state (parameters + optimizer), the
+  ``C^F`` of Eq. (2);
+* ``diff/<start>_<end>.ckpt`` — one (possibly batched) differential
+  checkpoint covering optimizer steps ``start..end`` inclusive, the
+  ``C^D``/``C^B`` of §IV;
+* ``manifest.json`` — the index, updated atomically after each write, so
+  a crash between data write and manifest update leaves the previous
+  consistent view (write-ahead of data, commit via manifest).
+
+Retention: old fulls and the diffs they anchor can be garbage-collected
+once newer fulls exist.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.storage.backends import StorageBackend
+from repro.storage.payload_codec import payload_to_tree, tree_to_payload
+from repro.storage.serializer import pack_tree, unpack_tree
+
+MANIFEST_KEY = "manifest.json"
+
+
+@dataclass(frozen=True)
+class FullCheckpointRecord:
+    step: int
+    key: str
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class DiffCheckpointRecord:
+    start: int  # first optimizer step covered (inclusive)
+    end: int    # last optimizer step covered (inclusive)
+    key: str
+    nbytes: int
+    count: int  # number of gradients accumulated into this diff
+
+
+class CheckpointStore:
+    """Full/differential checkpoint series with a manifest index."""
+
+    def __init__(self, backend: StorageBackend):
+        self.backend = backend
+        self._fulls: list[FullCheckpointRecord] = []
+        self._diffs: list[DiffCheckpointRecord] = []
+        if backend.exists(MANIFEST_KEY):
+            self._load_manifest()
+
+    # Manifest ------------------------------------------------------------
+    def _load_manifest(self) -> None:
+        manifest = json.loads(self.backend.read(MANIFEST_KEY).decode())
+        self._fulls = [FullCheckpointRecord(**rec) for rec in manifest["fulls"]]
+        self._diffs = [DiffCheckpointRecord(**rec) for rec in manifest["diffs"]]
+
+    def _commit_manifest(self) -> None:
+        manifest = {
+            "fulls": [vars(rec) for rec in self._fulls],
+            "diffs": [vars(rec) for rec in self._diffs],
+        }
+        self.backend.write(MANIFEST_KEY, json.dumps(manifest).encode())
+
+    # Saving ------------------------------------------------------------------
+    def save_full(self, step: int, model_state: dict, optimizer_state: dict,
+                  extra: dict | None = None) -> FullCheckpointRecord:
+        """Persist a full checkpoint ``C^F`` at optimizer step ``step``.
+
+        ``step`` means: this state is the result of ``step`` optimizer
+        updates; replaying diff ``step+1`` on it advances to ``step+1``.
+        """
+        key = f"full/{step:010d}.ckpt"
+        data = pack_tree({
+            "step": int(step),
+            "model": model_state,
+            "optimizer": optimizer_state,
+            "extra": extra or {},
+        })
+        self.backend.write(key, data)
+        record = FullCheckpointRecord(step=int(step), key=key, nbytes=len(data))
+        self._fulls = [r for r in self._fulls if r.step != step] + [record]
+        self._fulls.sort(key=lambda r: r.step)
+        self._commit_manifest()
+        return record
+
+    def save_diff(self, start: int, end: int, payload, count: int | None = None
+                  ) -> DiffCheckpointRecord:
+        """Persist a (batched) differential checkpoint covering steps [start, end]."""
+        if end < start:
+            raise ValueError(f"diff range invalid: start={start} end={end}")
+        key = f"diff/{start:010d}_{end:010d}.ckpt"
+        data = pack_tree({
+            "start": int(start),
+            "end": int(end),
+            "count": int(count if count is not None else end - start + 1),
+            "payload": payload_to_tree(payload),
+        })
+        self.backend.write(key, data)
+        record = DiffCheckpointRecord(
+            start=int(start), end=int(end), key=key, nbytes=len(data),
+            count=int(count if count is not None else end - start + 1),
+        )
+        self._diffs = [
+            r for r in self._diffs if (r.start, r.end) != (start, end)
+        ] + [record]
+        self._diffs.sort(key=lambda r: (r.start, r.end))
+        self._commit_manifest()
+        return record
+
+    # Loading -----------------------------------------------------------------
+    def latest_full(self) -> FullCheckpointRecord | None:
+        return self._fulls[-1] if self._fulls else None
+
+    def fulls(self) -> list[FullCheckpointRecord]:
+        return list(self._fulls)
+
+    def diffs(self) -> list[DiffCheckpointRecord]:
+        return list(self._diffs)
+
+    def diffs_after(self, step: int) -> list[DiffCheckpointRecord]:
+        """Diff records strictly after optimizer step ``step``, in replay order.
+
+        Only returns a *contiguous* chain starting at ``step + 1``; a gap
+        (e.g. a diff lost to a failure) truncates the chain, because
+        replaying past a gap would corrupt the state.
+        """
+        chain = []
+        next_start = step + 1
+        for record in self._diffs:
+            if record.end <= step:
+                continue
+            if record.start == next_start:
+                chain.append(record)
+                next_start = record.end + 1
+            elif record.start > next_start:
+                break
+        return chain
+
+    def load_full(self, record: FullCheckpointRecord) -> tuple[dict, dict, int]:
+        tree = unpack_tree(self.backend.read(record.key))
+        return tree["model"], tree["optimizer"], int(tree["step"])
+
+    def load_diff(self, record: DiffCheckpointRecord):
+        tree = unpack_tree(self.backend.read(record.key))
+        return tree_to_payload(tree["payload"])
+
+    # Retention -----------------------------------------------------------------
+    def gc(self, keep_fulls: int = 2) -> int:
+        """Delete fulls beyond the newest ``keep_fulls`` and orphaned diffs.
+
+        Returns the number of objects deleted.  Diffs at or before the
+        oldest retained full's step are unreachable (recovery always
+        starts from a retained full) and are removed.
+        """
+        if keep_fulls < 1:
+            raise ValueError(f"keep_fulls must be >= 1, got {keep_fulls}")
+        deleted = 0
+        if len(self._fulls) > keep_fulls:
+            drop, self._fulls = self._fulls[:-keep_fulls], self._fulls[-keep_fulls:]
+            for record in drop:
+                self.backend.delete(record.key)
+                deleted += 1
+        if self._fulls:
+            horizon = self._fulls[0].step
+            keep, drop = [], []
+            for record in self._diffs:
+                (keep if record.end > horizon else drop).append(record)
+            for record in drop:
+                self.backend.delete(record.key)
+                deleted += 1
+            self._diffs = keep
+        if deleted:
+            self._commit_manifest()
+        return deleted
+
+    # Accounting ---------------------------------------------------------------
+    def storage_bytes(self) -> dict[str, int]:
+        """Current bytes held by full vs differential checkpoints."""
+        return {
+            "full": sum(r.nbytes for r in self._fulls),
+            "diff": sum(r.nbytes for r in self._diffs),
+        }

@@ -1,0 +1,80 @@
+"""Encode/decode compressed-gradient payloads as checkpoint trees.
+
+The serializer handles plain trees; this codec maps the payload classes
+(sparse / quantized / dense) to tagged trees and back, so differential
+checkpoints written by one process can be reconstructed by the recovery
+process without pickling classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import DenseGradient
+from repro.compression.quantization import QuantizedGradient
+from repro.compression.sparse import SparseGradient
+
+
+def payload_to_tree(payload) -> dict:
+    """Convert a payload object to a serializable tagged tree."""
+    # Imported lazily: core.differential depends on compression, and the
+    # core package imports storage — a module-level import here would cycle.
+    from repro.core.differential import StateDelta
+
+    if isinstance(payload, StateDelta):
+        return {
+            "kind": "state_delta",
+            "params": payload_to_tree(payload.params),
+            "optimizer_slots": dict(payload.optimizer_slots),
+            "step_count_delta": payload.step_count_delta,
+        }
+    if isinstance(payload, SparseGradient):
+        return {
+            "kind": "sparse",
+            "entries": {
+                name: {"indices": indices, "values": values}
+                for name, (indices, values) in payload.entries.items()
+            },
+            "shapes": {name: list(shape) for name, shape in payload.shapes.items()},
+        }
+    if isinstance(payload, QuantizedGradient):
+        return {
+            "kind": "quantized",
+            "levels": dict(payload.levels),
+            "scales": dict(payload.scales),
+            "shapes": {name: list(shape) for name, shape in payload.shapes.items()},
+            "num_levels": payload.num_levels,
+        }
+    if isinstance(payload, DenseGradient):
+        return {"kind": "dense", "tensors": dict(payload.tensors)}
+    raise TypeError(f"cannot encode payload of type {type(payload).__name__}")
+
+
+def tree_to_payload(tree: dict):
+    """Inverse of :func:`payload_to_tree`."""
+    kind = tree.get("kind")
+    if kind == "state_delta":
+        from repro.core.differential import StateDelta
+
+        return StateDelta(
+            params=tree_to_payload(tree["params"]),
+            optimizer_slots=tree["optimizer_slots"],
+            step_count_delta=int(tree["step_count_delta"]),
+        )
+    if kind == "sparse":
+        shapes = {name: tuple(shape) for name, shape in tree["shapes"].items()}
+        entries = {
+            name: (np.asarray(entry["indices"]), np.asarray(entry["values"]))
+            for name, entry in tree["entries"].items()
+        }
+        return SparseGradient(entries, shapes)
+    if kind == "quantized":
+        return QuantizedGradient(
+            tree["levels"],
+            tree["scales"],
+            {name: tuple(shape) for name, shape in tree["shapes"].items()},
+            tree["num_levels"],
+        )
+    if kind == "dense":
+        return DenseGradient(tree["tensors"])
+    raise ValueError(f"unknown payload kind in checkpoint: {kind!r}")

@@ -1,0 +1,55 @@
+"""Deterministic weight initializers.
+
+All initializers take an explicit :class:`~repro.utils.rng.Rng` so that two
+workers constructing the same model from the same seed hold bit-identical
+parameters — the precondition for data-parallel training without an
+initial broadcast.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.rng import Rng
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: tuple) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)
+
+
+def uniform(rng: Rng, shape: tuple, low: float = -0.1, high: float = 0.1) -> np.ndarray:
+    return rng.uniform(low, high, size=shape)
+
+
+def normal(rng: Rng, shape: tuple, std: float = 0.02) -> np.ndarray:
+    return rng.normal(0.0, std, size=shape)
+
+
+def _fan_in_out(shape: tuple) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    # Conv kernels: (out_channels, in_channels, kh, kw)
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive
+
+
+def xavier_uniform(rng: Rng, shape: tuple, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform — default for linear/attention projections."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_normal(rng: Rng, shape: tuple) -> np.ndarray:
+    """He initialization — default for conv layers followed by ReLU."""
+    fan_in, _ = _fan_in_out(shape)
+    std = math.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)

@@ -1,0 +1,62 @@
+"""Loss functions returning ``(loss_value, grad_wrt_logits)``.
+
+The substrate keeps losses outside the module tree: a loss consumes the
+model output and the targets and hands back the gradient seed for
+``model.backward``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = x - x.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def log_softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+class CrossEntropyLoss:
+    """Mean cross-entropy over all leading axes.
+
+    Accepts logits of shape ``(..., num_classes)`` and integer targets of
+    shape ``(...)`` — so both image classifiers ``(B, C)`` and language
+    models ``(B, T, V)`` are covered.
+    """
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray):
+        targets = np.asarray(targets)
+        num_classes = logits.shape[-1]
+        flat_logits = logits.reshape(-1, num_classes)
+        flat_targets = targets.reshape(-1)
+        if flat_targets.shape[0] != flat_logits.shape[0]:
+            raise ValueError(
+                f"targets shape {targets.shape} incompatible with logits {logits.shape}"
+            )
+        log_probs = log_softmax(flat_logits)
+        count = flat_targets.shape[0]
+        loss = -log_probs[np.arange(count), flat_targets].mean()
+        grad = softmax(flat_logits)
+        grad[np.arange(count), flat_targets] -= 1.0
+        grad /= count
+        return float(loss), grad.reshape(logits.shape)
+
+
+class MSELoss:
+    """Mean squared error over every element."""
+
+    def __call__(self, prediction: np.ndarray, target: np.ndarray):
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"shape mismatch: prediction {prediction.shape} vs target {target.shape}"
+            )
+        diff = prediction - target
+        loss = float((diff**2).mean())
+        grad = 2.0 * diff / diff.size
+        return loss, grad

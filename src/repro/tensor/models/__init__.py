@@ -1,0 +1,39 @@
+"""Model zoo.
+
+Two tiers:
+
+* **Functional miniatures** (:mod:`mlp`, :mod:`resnet`, :mod:`vgg`,
+  :mod:`transformer`) — structurally faithful, scaled-down versions of the
+  paper's workloads that actually train on this machine; used by the
+  examples and the bit-exact recovery tests.
+* **Profiles** (:mod:`registry`) — the paper's *real* model metadata
+  (parameter counts from Table "Experimental setup", full-checkpoint sizes
+  from the storage table, calibrated per-iteration times) consumed by the
+  performance simulator.
+"""
+
+from repro.tensor.models.mlp import MLP
+from repro.tensor.models.resnet import MiniResNet, BasicBlock
+from repro.tensor.models.vgg import MiniVGG
+from repro.tensor.models.transformer import MiniGPT2, MiniBERT
+from repro.tensor.models.registry import (
+    ModelProfile,
+    MODEL_PROFILES,
+    get_profile,
+    build_mini_model,
+    MINI_BUILDERS,
+)
+
+__all__ = [
+    "MLP",
+    "MiniResNet",
+    "BasicBlock",
+    "MiniVGG",
+    "MiniGPT2",
+    "MiniBERT",
+    "ModelProfile",
+    "MODEL_PROFILES",
+    "get_profile",
+    "build_mini_model",
+    "MINI_BUILDERS",
+]

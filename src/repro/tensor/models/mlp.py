@@ -1,0 +1,40 @@
+"""Plain multi-layer perceptron — the smallest end-to-end workload.
+
+Used by the quickstart example and as the fast default model in unit
+tests: a couple of thousand parameters keeps property-based recovery tests
+(hundreds of train/recover cycles) quick.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.layers import Linear, ReLU, Tanh
+from repro.tensor.module import Module, Sequential
+from repro.utils.rng import Rng
+
+
+class MLP(Module):
+    """Fully connected network with ReLU (default) or Tanh activations."""
+
+    def __init__(self, in_features: int, hidden: list[int], out_features: int,
+                 activation: str = "relu", rng: Rng | None = None):
+        super().__init__()
+        rng = rng or Rng(0)
+        act_cls = {"relu": ReLU, "tanh": Tanh}.get(activation)
+        if act_cls is None:
+            raise ValueError(f"unknown activation {activation!r}")
+        layers: list[Module] = []
+        prev = in_features
+        for index, width in enumerate(hidden):
+            layers.append(Linear(prev, width, rng=rng.child("fc", index)))
+            layers.append(act_cls())
+            prev = width
+        layers.append(Linear(prev, out_features, rng=rng.child("head")))
+        self.net = Sequential(*layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.net.forward(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad_output)

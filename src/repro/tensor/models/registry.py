@@ -1,0 +1,212 @@
+"""Paper workload profiles and miniature-model factories.
+
+:data:`MODEL_PROFILES` carries the *real* model metadata the performance
+simulator consumes: parameter counts from the paper's experimental-setup
+table, layer counts of the published architectures, and per-iteration
+times calibrated so that compute/communication/storage ratios match the
+paper's A100 testbed (8 GPUs, NVLink, PCIe Gen4, 25 Gbps IB, local SSD).
+
+:data:`MINI_BUILDERS` maps the same names to functional miniatures used by
+examples and correctness tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.tensor.models.mlp import MLP
+from repro.tensor.models.resnet import MiniResNet
+from repro.tensor.models.transformer import MiniBERT, MiniGPT2
+from repro.tensor.models.vgg import MiniVGG
+from repro.utils.rng import Rng
+
+#: Bytes per parameter element (fp32 training as in the paper's setup).
+BYTES_PER_PARAM = 4
+
+#: Adam keeps two moments per parameter, so a full model state is 3 Psi.
+STATE_MULTIPLIER = 3
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Static description of one paper workload.
+
+    Attributes
+    ----------
+    name / dataset:
+        As listed in the paper's Table "Experimental setup".
+    params:
+        Model parameter count Psi (number of scalar elements).
+    num_layers:
+        Gradient-producing layers of the published architecture; drives the
+        layer-wise pipeline model in the simulator.
+    iter_time_s:
+        Per-iteration compute time (forward+backward+update) on one A100
+        worker at the paper's batch sizes; calibrated constant.
+    layer_fractions:
+        Fraction of Psi held by each layer, front-to-back.  Transformers
+        concentrate ~15-25% in embeddings; CNNs grow toward late layers.
+    """
+
+    name: str
+    dataset: str
+    params: int
+    num_layers: int
+    iter_time_s: float
+    layer_fractions: tuple = field(default_factory=tuple)
+
+    # Sizes ---------------------------------------------------------------
+    @property
+    def param_bytes(self) -> int:
+        """Bytes of the model parameters alone (Psi elements)."""
+        return self.params * BYTES_PER_PARAM
+
+    @property
+    def full_state_bytes(self) -> int:
+        """Bytes of a full checkpoint: parameters + Adam moments = 3 Psi."""
+        return STATE_MULTIPLIER * self.params * BYTES_PER_PARAM
+
+    @property
+    def gradient_bytes(self) -> int:
+        """Bytes of one dense gradient (Psi elements)."""
+        return self.params * BYTES_PER_PARAM
+
+    def layer_param_counts(self) -> np.ndarray:
+        """Per-layer parameter counts, summing exactly to ``params``."""
+        fractions = np.asarray(self.layer_fractions, dtype=np.float64)
+        counts = np.floor(fractions * self.params).astype(np.int64)
+        counts[-1] += self.params - counts.sum()
+        return counts
+
+
+def _transformer_fractions(num_blocks: int, embed_frac: float, head_frac: float) -> tuple:
+    """Embedding + uniform blocks + head; the LM-style layer distribution."""
+    block_frac = (1.0 - embed_frac - head_frac) / num_blocks
+    return (embed_frac,) + (block_frac,) * num_blocks + (head_frac,)
+
+
+def _cnn_fractions(num_layers: int, growth: float = 1.12) -> tuple:
+    """Geometrically growing per-layer sizes — later conv/fc layers dominate."""
+    raw = growth ** np.arange(num_layers)
+    raw /= raw.sum()
+    return tuple(raw.tolist())
+
+
+def _m(x: float) -> int:
+    return int(x * 1e6)
+
+
+MODEL_PROFILES: dict[str, ModelProfile] = {
+    "resnet50": ModelProfile(
+        name="resnet50", dataset="cifar100", params=_m(25.6), num_layers=54,
+        iter_time_s=0.065, layer_fractions=_cnn_fractions(54),
+    ),
+    "resnet101": ModelProfile(
+        name="resnet101", dataset="imagenet", params=_m(44.5), num_layers=105,
+        iter_time_s=0.110, layer_fractions=_cnn_fractions(105, growth=1.06),
+    ),
+    "vgg16": ModelProfile(
+        name="vgg16", dataset="cifar100", params=_m(138.8), num_layers=16,
+        iter_time_s=0.105, layer_fractions=_cnn_fractions(16, growth=1.6),
+    ),
+    "vgg19": ModelProfile(
+        name="vgg19", dataset="imagenet", params=_m(143.7), num_layers=19,
+        iter_time_s=0.125, layer_fractions=_cnn_fractions(19, growth=1.5),
+    ),
+    "bert_base": ModelProfile(
+        name="bert_base", dataset="squad", params=_m(110.0), num_layers=14,
+        iter_time_s=0.095,
+        layer_fractions=_transformer_fractions(12, embed_frac=0.21, head_frac=0.01),
+    ),
+    "bert_large": ModelProfile(
+        name="bert_large", dataset="squad", params=_m(334.0), num_layers=26,
+        iter_time_s=0.220,
+        layer_fractions=_transformer_fractions(24, embed_frac=0.095, head_frac=0.005),
+    ),
+    "gpt2_small": ModelProfile(
+        name="gpt2_small", dataset="wikitext2", params=_m(117.0), num_layers=14,
+        iter_time_s=0.105,
+        layer_fractions=_transformer_fractions(12, embed_frac=0.33, head_frac=0.01),
+    ),
+    "gpt2_large": ModelProfile(
+        name="gpt2_large", dataset="wikitext103", params=_m(762.0), num_layers=38,
+        iter_time_s=0.340,
+        layer_fractions=_transformer_fractions(36, embed_frac=0.085, head_frac=0.005),
+    ),
+}
+
+#: Aliases matching the paper's display names.
+_ALIASES = {
+    "resnet-50": "resnet50",
+    "resnet-101": "resnet101",
+    "vgg-16": "vgg16",
+    "vgg-19": "vgg19",
+    "bert-b": "bert_base",
+    "bert-l": "bert_large",
+    "gpt2-s": "gpt2_small",
+    "gpt2-l": "gpt2_large",
+}
+
+
+def get_profile(name: str) -> ModelProfile:
+    """Look up a profile by canonical name or paper alias (case-insensitive)."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return MODEL_PROFILES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; known: {sorted(MODEL_PROFILES)}"
+        ) from None
+
+
+# --------------------------------------------------------------------------
+# Functional miniatures
+# --------------------------------------------------------------------------
+
+def _mini_resnet(rng: Rng) -> MiniResNet:
+    return MiniResNet(num_classes=10, base_channels=8, stage_blocks=(2, 2), rng=rng)
+
+
+def _mini_vgg(rng: Rng) -> MiniVGG:
+    return MiniVGG(num_classes=10, base_channels=8, stages=(1, 1), image_size=8, rng=rng)
+
+
+def _mini_gpt2(rng: Rng) -> MiniGPT2:
+    return MiniGPT2(vocab_size=64, max_len=16, dim=16, num_heads=2, num_layers=2, rng=rng)
+
+
+def _mini_bert(rng: Rng) -> MiniBERT:
+    return MiniBERT(vocab_size=64, max_len=16, dim=16, num_heads=2, num_layers=2, rng=rng)
+
+
+def _mini_mlp(rng: Rng) -> MLP:
+    return MLP(8, [16, 16], 4, rng=rng)
+
+
+MINI_BUILDERS = {
+    "mlp": _mini_mlp,
+    "resnet50": _mini_resnet,
+    "resnet101": _mini_resnet,
+    "vgg16": _mini_vgg,
+    "vgg19": _mini_vgg,
+    "bert_base": _mini_bert,
+    "bert_large": _mini_bert,
+    "gpt2_small": _mini_gpt2,
+    "gpt2_large": _mini_gpt2,
+}
+
+
+def build_mini_model(name: str, rng: Rng | None = None):
+    """Construct the functional miniature for a paper workload (or ``mlp``)."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    try:
+        builder = MINI_BUILDERS[key]
+    except KeyError:
+        raise KeyError(
+            f"no miniature for {name!r}; known: {sorted(MINI_BUILDERS)}"
+        ) from None
+    return builder(rng or Rng(0))

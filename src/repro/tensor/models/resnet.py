@@ -1,0 +1,116 @@
+"""Miniature ResNet (He et al.) for the image-classification workloads.
+
+Structurally faithful to ResNet-50/101 at reduced width/depth: stacked
+residual stages with stride-2 downsampling convolutions, batch
+normalization, global average pooling and a linear classifier.  Recovery
+tests run it with ``track_running_stats=False`` (see
+:class:`~repro.tensor.layers.BatchNorm2d` for why).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    ReLU,
+)
+from repro.tensor.module import Module
+from repro.utils.rng import Rng
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with identity (or 1x1 projection) shortcut."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Rng | None = None):
+        super().__init__()
+        rng = rng or Rng(0)
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1,
+                            rng=rng.child("conv1"), bias=False)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1,
+                            rng=rng.child("conv2"), bias=False)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.relu2 = ReLU()
+        self.has_projection = stride != 1 or in_channels != out_channels
+        if self.has_projection:
+            self.proj = Conv2d(in_channels, out_channels, 1, stride=stride,
+                               rng=rng.child("proj"), bias=False)
+            self.proj_bn = BatchNorm2d(out_channels)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.relu1.forward(self.bn1.forward(self.conv1.forward(x)))
+        out = self.bn2.forward(self.conv2.forward(out))
+        shortcut = self.proj_bn.forward(self.proj.forward(x)) if self.has_projection else x
+        return self.relu2.forward(out + shortcut)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_sum = self.relu2.backward(grad_output)
+        grad_main = self.conv1.backward(
+            self.bn1.backward(
+                self.relu1.backward(
+                    self.conv2.backward(self.bn2.backward(grad_sum))
+                )
+            )
+        )
+        if self.has_projection:
+            grad_short = self.proj.backward(self.proj_bn.backward(grad_sum))
+        else:
+            grad_short = grad_sum
+        return grad_main + grad_short
+
+
+class MiniResNet(Module):
+    """Small ResNet: stem conv, residual stages, global pool, classifier.
+
+    ``stage_blocks=(2, 2)`` with ``base_channels=8`` yields a few thousand
+    parameters — fast enough for property tests while exercising residual
+    topology, projection shortcuts and batch norm.
+    """
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 3,
+                 base_channels: int = 8, stage_blocks: tuple = (2, 2),
+                 rng: Rng | None = None):
+        super().__init__()
+        rng = rng or Rng(0)
+        self.stem = Conv2d(in_channels, base_channels, 3, stride=1, padding=1,
+                           rng=rng.child("stem"), bias=False)
+        self.stem_bn = BatchNorm2d(base_channels)
+        self.stem_relu = ReLU()
+        self.blocks: list[BasicBlock] = []
+        channels = base_channels
+        block_index = 0
+        for stage, depth in enumerate(stage_blocks):
+            out_channels = base_channels * (2**stage)
+            for block_in_stage in range(depth):
+                stride = 2 if (stage > 0 and block_in_stage == 0) else 1
+                block = BasicBlock(channels, out_channels, stride=stride,
+                                   rng=rng.child("block", block_index))
+                self._modules[f"block{block_index}"] = block
+                object.__setattr__(self, f"block{block_index}", block)
+                self.blocks.append(block)
+                channels = out_channels
+                block_index += 1
+        self.pool = AvgPool2d(None)
+        self.flatten = Flatten()
+        self.head = Linear(channels, num_classes, rng=rng.child("head"))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.stem_relu.forward(self.stem_bn.forward(self.stem.forward(x)))
+        for block in self.blocks:
+            x = block.forward(x)
+        return self.head.forward(self.flatten.forward(self.pool.forward(x)))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.pool.backward(
+            self.flatten.backward(self.head.backward(grad_output))
+        )
+        for block in reversed(self.blocks):
+            grad = block.backward(grad)
+        return self.stem.backward(self.stem_bn.backward(self.stem_relu.backward(grad)))

@@ -1,0 +1,107 @@
+"""Miniature GPT-2 and BERT for the NLP workloads.
+
+Both models are built from the same :class:`TransformerBlock`; GPT-2 is
+causal with a language-model head, BERT is bidirectional with a
+classification head over the first token (the ``[CLS]`` convention).  The
+miniatures mirror the real architectures' layer structure so that
+layer-wise gradient ordering during backward matches the shape LowDiff+
+assumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.layers import (
+    Embedding,
+    LayerNorm,
+    Linear,
+    PositionalEmbedding,
+    TransformerBlock,
+    Tanh,
+)
+from repro.tensor.module import Module
+from repro.utils.rng import Rng
+
+
+class MiniGPT2(Module):
+    """Decoder-only causal transformer with an LM head.
+
+    Input: ``(B, T)`` token ids. Output: ``(B, T, vocab_size)`` logits.
+    """
+
+    def __init__(self, vocab_size: int = 64, max_len: int = 16, dim: int = 16,
+                 num_heads: int = 2, num_layers: int = 2, rng: Rng | None = None):
+        super().__init__()
+        rng = rng or Rng(0)
+        self.token_emb = Embedding(vocab_size, dim, rng=rng.child("wte"))
+        self.pos_emb = PositionalEmbedding(max_len, dim, rng=rng.child("wpe"))
+        self.blocks: list[TransformerBlock] = []
+        for index in range(num_layers):
+            block = TransformerBlock(dim, num_heads, causal=True,
+                                     rng=rng.child("block", index))
+            self._modules[f"h{index}"] = block
+            object.__setattr__(self, f"h{index}", block)
+            self.blocks.append(block)
+        self.ln_f = LayerNorm(dim)
+        self.lm_head = Linear(dim, vocab_size, rng=rng.child("head"), bias=False)
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        x = self.pos_emb.forward(self.token_emb.forward(ids))
+        for block in self.blocks:
+            x = block.forward(x)
+        return self.lm_head.forward(self.ln_f.forward(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.ln_f.backward(self.lm_head.backward(grad_output))
+        for block in reversed(self.blocks):
+            grad = block.backward(grad)
+        return self.token_emb.backward(self.pos_emb.backward(grad))
+
+
+class MiniBERT(Module):
+    """Encoder-only bidirectional transformer with a CLS classifier head.
+
+    Input: ``(B, T)`` token ids. Output: ``(B, num_classes)`` logits.
+    """
+
+    def __init__(self, vocab_size: int = 64, max_len: int = 16, dim: int = 16,
+                 num_heads: int = 2, num_layers: int = 2, num_classes: int = 2,
+                 rng: Rng | None = None):
+        super().__init__()
+        rng = rng or Rng(0)
+        self.token_emb = Embedding(vocab_size, dim, rng=rng.child("wte"))
+        self.pos_emb = PositionalEmbedding(max_len, dim, rng=rng.child("wpe"))
+        self.blocks: list[TransformerBlock] = []
+        for index in range(num_layers):
+            block = TransformerBlock(dim, num_heads, causal=False,
+                                     rng=rng.child("block", index))
+            self._modules[f"layer{index}"] = block
+            object.__setattr__(self, f"layer{index}", block)
+            self.blocks.append(block)
+        self.pooler = Linear(dim, dim, rng=rng.child("pooler"))
+        self.pooler_act = Tanh()
+        self.classifier = Linear(dim, num_classes, rng=rng.child("classifier"))
+        self._seq_len: int = 0
+        self._dim = dim
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        x = self.pos_emb.forward(self.token_emb.forward(ids))
+        for block in self.blocks:
+            x = block.forward(x)
+        self._seq_len = x.shape[1]
+        cls = x[:, 0, :]
+        pooled = self.pooler_act.forward(self.pooler.forward(cls))
+        return self.classifier.forward(pooled)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_pooled = self.pooler.backward(
+            self.pooler_act.backward(self.classifier.backward(grad_output))
+        )
+        batch = grad_pooled.shape[0]
+        grad_hidden = np.zeros((batch, self._seq_len, self._dim))
+        grad_hidden[:, 0, :] = grad_pooled
+        grad = grad_hidden
+        for block in reversed(self.blocks):
+            grad = block.backward(grad)
+        return self.token_emb.backward(self.pos_emb.backward(grad))

@@ -1,0 +1,69 @@
+"""Miniature VGG (Simonyan & Zisserman) for the CIFAR/ImageNet workloads.
+
+Conv-ReLU stacks separated by 2x2 max pooling, followed by a fully
+connected classifier — the canonical "wide dense head" model whose large
+parameter count motivates the paper's VGG-16/19 entries.  The miniature
+keeps the topology (so pipeline-parallel stage splitting in the VGG16
+experiment has natural cut points) at a width that trains in milliseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from repro.tensor.module import Module, Sequential
+from repro.utils.rng import Rng
+
+
+def _conv_stage(in_channels: int, out_channels: int, depth: int, rng: Rng) -> list:
+    layers: list[Module] = []
+    channels = in_channels
+    for index in range(depth):
+        layers.append(Conv2d(channels, out_channels, 3, padding=1,
+                             rng=rng.child("conv", index)))
+        layers.append(ReLU())
+        channels = out_channels
+    layers.append(MaxPool2d(2))
+    return layers
+
+
+class MiniVGG(Module):
+    """Small VGG: ``stages`` conv stages then a two-layer dense classifier.
+
+    The network is a single :class:`Sequential`, which makes it the model
+    of choice for the pipeline-parallel engine (stages are split by layer
+    index).
+    """
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 3,
+                 base_channels: int = 8, stages: tuple = (1, 1),
+                 image_size: int = 8, hidden: int = 32, rng: Rng | None = None):
+        super().__init__()
+        rng = rng or Rng(0)
+        layers: list[Module] = []
+        channels = in_channels
+        size = image_size
+        for stage, depth in enumerate(stages):
+            out_channels = base_channels * (2**stage)
+            layers.extend(_conv_stage(channels, out_channels, depth, rng.child("stage", stage)))
+            channels = out_channels
+            size //= 2
+        if size < 1:
+            raise ValueError("too many pooling stages for the given image size")
+        layers.append(Flatten())
+        layers.append(Linear(channels * size * size, hidden, rng=rng.child("fc1")))
+        layers.append(ReLU())
+        layers.append(Linear(hidden, num_classes, rng=rng.child("fc2")))
+        self.net = Sequential(*layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.net.forward(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad_output)
+
+    @property
+    def layers(self) -> list[Module]:
+        """Flat layer list (used by the pipeline-parallel splitter)."""
+        return self.net.layers

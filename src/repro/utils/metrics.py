@@ -1,0 +1,43 @@
+"""Evaluation metrics for the functional training examples/tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy over any leading axes."""
+    targets = np.asarray(targets)
+    predictions = np.argmax(logits, axis=-1)
+    if predictions.shape != targets.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape} vs targets "
+            f"{targets.shape}"
+        )
+    return float((predictions == targets).mean())
+
+
+def perplexity(mean_cross_entropy: float) -> float:
+    """Perplexity from a mean token cross-entropy (natural log)."""
+    if mean_cross_entropy < 0:
+        raise ValueError(f"cross-entropy must be >= 0, got {mean_cross_entropy}")
+    return float(math.exp(min(mean_cross_entropy, 700.0)))
+
+
+def evaluate_classifier(model, dataset, loss_fn, num_batches: int = 8,
+                        worker: int = 0, start_iteration: int = 10_000) -> dict:
+    """Held-out evaluation: batches drawn from iteration indices training
+    never uses. Returns mean loss and accuracy."""
+    losses, accuracies = [], []
+    for offset in range(num_batches):
+        inputs, targets = dataset.batch(worker, start_iteration + offset)
+        logits = model.forward(inputs)
+        loss, _ = loss_fn(logits, targets)
+        losses.append(loss)
+        accuracies.append(accuracy(logits, targets))
+    return {
+        "loss": float(np.mean(losses)),
+        "accuracy": float(np.mean(accuracies)),
+    }

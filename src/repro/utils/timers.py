@@ -1,0 +1,71 @@
+"""Wall-clock timing helpers for the functional layer and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Timer:
+    """Context-manager wall-clock timer.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start: float = 0.0
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Used by the functional trainers to attribute wall time to phases
+    (forward/backward/sync/update/checkpoint) without a profiler.
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+    _open: dict[str, float] = field(default_factory=dict)
+
+    def start(self, name: str) -> None:
+        self._open[name] = time.perf_counter()
+
+    def stop(self, name: str) -> float:
+        begin = self._open.pop(name)
+        elapsed = time.perf_counter() - begin
+        self.laps[name] = self.laps.get(name, 0.0) + elapsed
+        self.counts[name] = self.counts.get(name, 0) + 1
+        return elapsed
+
+    def lap(self, name: str):
+        """Context manager form: ``with sw.lap("forward"): ...``."""
+        stopwatch = self
+
+        class _Lap:
+            def __enter__(self_inner):
+                stopwatch.start(name)
+                return self_inner
+
+            def __exit__(self_inner, *exc):
+                stopwatch.stop(name)
+
+        return _Lap()
+
+    def mean(self, name: str) -> float:
+        count = self.counts.get(name, 0)
+        return self.laps.get(name, 0.0) / count if count else 0.0
+
+    def total(self) -> float:
+        return sum(self.laps.values())

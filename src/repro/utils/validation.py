@@ -1,0 +1,41 @@
+"""Small argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from numbers import Real
+
+
+def check_positive(name: str, value, strict: bool = True) -> None:
+    """Raise ``ValueError`` unless ``value`` is a positive (or >= 0) real."""
+    if not isinstance(value, Real):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+def check_in_range(name: str, value, low, high, inclusive: bool = True) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high`` (or strict)."""
+    if inclusive:
+        if not (low <= value <= high):
+            raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    else:
+        if not (low < value < high):
+            raise ValueError(f"{name} must be in ({low}, {high}), got {value}")
+
+
+def check_probability(name: str, value) -> None:
+    check_in_range(name, value, 0.0, 1.0)
+
+
+def check_type(name: str, value, expected: type | tuple) -> None:
+    if not isinstance(value, expected):
+        expected_name = (
+            expected.__name__
+            if isinstance(expected, type)
+            else "/".join(t.__name__ for t in expected)
+        )
+        raise TypeError(
+            f"{name} must be {expected_name}, got {type(value).__name__}"
+        )

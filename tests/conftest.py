@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from tests.helpers import make_mlp_trainer  # noqa: F401 (re-export)
+from repro.storage import CheckpointStore, InMemoryBackend
+from repro.utils.rng import Rng
+
+
+@pytest.fixture
+def rng():
+    return Rng(1234)
+
+
+@pytest.fixture
+def store():
+    return CheckpointStore(InMemoryBackend())
+
+
+@pytest.fixture
+def mlp_trainer():
+    return make_mlp_trainer()

@@ -1,0 +1,55 @@
+"""Shared helper functions for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression import TopKCompressor
+from repro.distributed import DataParallelTrainer, SyntheticClassification
+from repro.optim import Adam
+from repro.tensor.loss import CrossEntropyLoss
+from repro.tensor.models import MLP
+from repro.utils.rng import Rng
+
+
+def make_mlp_trainer(num_workers: int = 2, rho: float | None = 0.1,
+                     seed: int = 7, lr: float = 1e-3,
+                     optimizer_builder=None) -> DataParallelTrainer:
+    """Standard tiny training job used across integration tests."""
+    return DataParallelTrainer(
+        model_builder=lambda rank: MLP(8, [16, 16], 4, rng=Rng(seed)),
+        optimizer_builder=optimizer_builder or (lambda m: Adam(m, lr=lr)),
+        loss_fn=CrossEntropyLoss(),
+        dataset=SyntheticClassification(8, 4, batch_size=4, seed=seed + 1),
+        num_workers=num_workers,
+        compressor_builder=(lambda: TopKCompressor(rho)) if rho else None,
+    )
+
+
+def assert_states_equal(a: dict, b: dict, exact: bool = True, atol: float = 1e-12):
+    """Compare two model state dicts."""
+    assert set(a) == set(b)
+    for name in a:
+        if exact:
+            np.testing.assert_array_equal(a[name], b[name], err_msg=name)
+        else:
+            np.testing.assert_allclose(a[name], b[name], atol=atol, err_msg=name)
+
+
+def assert_optimizers_equal(a: dict, b: dict, exact: bool = True):
+    """Compare two optimizer state dicts."""
+    assert a["type"] == b["type"]
+    assert a["step_count"] == b["step_count"]
+    assert set(a["slots"]) == set(b["slots"])
+    for name in a["slots"]:
+        assert set(a["slots"][name]) == set(b["slots"][name])
+        for slot in a["slots"][name]:
+            if exact:
+                np.testing.assert_array_equal(
+                    a["slots"][name][slot], b["slots"][name][slot],
+                    err_msg=f"{name}/{slot}",
+                )
+            else:
+                np.testing.assert_allclose(
+                    a["slots"][name][slot], b["slots"][name][slot], atol=1e-10,
+                )

@@ -1,0 +1,158 @@
+"""Tests for storage backends: round-trips, atomicity, throttling, faults."""
+
+import os
+
+import pytest
+
+from repro.storage.backends import (
+    FlakyBackend,
+    InMemoryBackend,
+    LocalDiskBackend,
+    ThrottledBackend,
+)
+
+
+BACKEND_FACTORIES = [
+    ("memory", lambda tmp: InMemoryBackend()),
+    ("disk", lambda tmp: LocalDiskBackend(str(tmp))),
+]
+
+
+@pytest.mark.parametrize("name,factory", BACKEND_FACTORIES)
+class TestBackendContract:
+    def test_write_read_roundtrip(self, name, factory, tmp_path):
+        backend = factory(tmp_path)
+        backend.write("a/b.ckpt", b"hello")
+        assert backend.read("a/b.ckpt") == b"hello"
+
+    def test_overwrite(self, name, factory, tmp_path):
+        backend = factory(tmp_path)
+        backend.write("k", b"one")
+        backend.write("k", b"two")
+        assert backend.read("k") == b"two"
+
+    def test_missing_key_raises(self, name, factory, tmp_path):
+        backend = factory(tmp_path)
+        with pytest.raises(FileNotFoundError):
+            backend.read("nope")
+
+    def test_exists_delete(self, name, factory, tmp_path):
+        backend = factory(tmp_path)
+        backend.write("k", b"x")
+        assert backend.exists("k")
+        backend.delete("k")
+        assert not backend.exists("k")
+        backend.delete("k")  # idempotent
+
+    def test_list_keys_prefix(self, name, factory, tmp_path):
+        backend = factory(tmp_path)
+        backend.write("full/1", b"a")
+        backend.write("full/2", b"b")
+        backend.write("diff/1", b"c")
+        assert backend.list_keys("full/") == ["full/1", "full/2"]
+        assert len(backend.list_keys()) == 3
+
+    def test_accounting(self, name, factory, tmp_path):
+        backend = factory(tmp_path)
+        backend.write("k", b"12345")
+        backend.read("k")
+        assert backend.bytes_written == 5
+        assert backend.bytes_read == 5
+        assert backend.write_count == 1
+
+    def test_rejects_non_bytes(self, name, factory, tmp_path):
+        backend = factory(tmp_path)
+        with pytest.raises(TypeError):
+            backend.write("k", "a string")
+
+
+class TestLocalDisk:
+    def test_rejects_path_escape(self, tmp_path):
+        backend = LocalDiskBackend(str(tmp_path))
+        with pytest.raises(ValueError):
+            backend.write("../escape", b"x")
+        with pytest.raises(ValueError):
+            backend.write("/abs", b"x")
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        backend = LocalDiskBackend(str(tmp_path))
+        for i in range(5):
+            backend.write(f"k{i}", b"data")
+        leftovers = [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_nested_keys_create_directories(self, tmp_path):
+        backend = LocalDiskBackend(str(tmp_path))
+        backend.write("a/b/c/d.ckpt", b"deep")
+        assert backend.read("a/b/c/d.ckpt") == b"deep"
+
+
+class TestThrottled:
+    def test_virtual_time_accumulates(self):
+        backend = ThrottledBackend(InMemoryBackend(), bandwidth=100.0, latency=0.5)
+        backend.write("k", b"x" * 200)
+        assert backend.virtual_time_s == pytest.approx(0.5 + 2.0)
+        backend.read("k")
+        assert backend.virtual_time_s == pytest.approx(2 * (0.5 + 2.0))
+
+    def test_cost_of(self):
+        backend = ThrottledBackend(InMemoryBackend(), bandwidth=1000.0)
+        assert backend.cost_of(500) == pytest.approx(0.5)
+
+    def test_data_passes_through(self):
+        inner = InMemoryBackend()
+        backend = ThrottledBackend(inner, bandwidth=1e9)
+        backend.write("k", b"payload")
+        assert inner.read("k") == b"payload"
+        assert backend.exists("k")
+        assert backend.list_keys() == ["k"]
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            ThrottledBackend(InMemoryBackend(), bandwidth=0)
+
+
+class TestFlaky:
+    def test_injected_write_failure(self):
+        inner = InMemoryBackend()
+        backend = FlakyBackend(inner, fail_on_write=2)
+        backend.write("a", b"1")
+        with pytest.raises(IOError):
+            backend.write("b", b"2")
+        # First write landed; failed write did not corrupt anything.
+        assert inner.read("a") == b"1"
+        assert not inner.exists("b")
+        backend.write("c", b"3")  # subsequent writes succeed
+
+    def test_injected_read_failure(self):
+        backend = FlakyBackend(InMemoryBackend(), fail_on_read=1)
+        backend.write("a", b"1")
+        with pytest.raises(IOError):
+            backend.read("a")
+        assert backend.read("a") == b"1"
+
+    def test_atomicity_on_disk_after_crash(self, tmp_path):
+        """A write that fails mid-flight never tears the previous value."""
+        disk = LocalDiskBackend(str(tmp_path))
+        disk.write("k", b"original")
+
+        class ExplodingBytes(bytes):
+            pass
+
+        # Simulate failure during write by patching fsync to raise once.
+        real_fsync = os.fsync
+        calls = {"n": 0}
+
+        def flaky_fsync(fd):
+            calls["n"] += 1
+            raise OSError("injected")
+
+        os.fsync = flaky_fsync
+        try:
+            with pytest.raises(OSError):
+                disk.write("k", b"replacement")
+        finally:
+            os.fsync = real_fsync
+        assert disk.read("k") == b"original"
+        leftovers = [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+        assert leftovers == []

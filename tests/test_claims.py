@@ -1,0 +1,45 @@
+"""The claims registry: every paper claim replicates as documented."""
+
+import pytest
+
+from repro.harness.claims import CLAIMS, render_report, verify_all
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return verify_all()
+
+
+class TestClaimRegistry:
+    def test_claims_cover_every_experiment(self):
+        covered = {claim.experiment for claim in CLAIMS}
+        assert covered == {
+            "fig1", "table1", "exp1", "exp2", "exp3", "exp4", "exp5",
+            "exp6", "exp7", "exp8", "exp9", "exp10",
+        }
+
+    def test_claim_ids_unique(self):
+        ids = [claim.claim_id for claim in CLAIMS]
+        assert len(ids) == len(set(ids))
+
+    def test_deviations_carry_notes(self):
+        for claim in CLAIMS:
+            if not claim.expected:
+                assert claim.deviation_note, claim.claim_id
+
+
+class TestClaimOutcomes:
+    def test_every_claim_behaves_as_documented(self, outcomes):
+        misbehaving = [o.claim.claim_id for o in outcomes if not o.as_expected]
+        assert not misbehaving, render_report(outcomes)
+
+    def test_majority_replicates(self, outcomes):
+        replicated = sum(1 for o in outcomes if o.replicated)
+        assert replicated >= len(outcomes) - 2  # at most 2 documented deviations
+
+    def test_report_renders(self, outcomes):
+        text = render_report(outcomes)
+        assert "paper-claim verification" in text
+        assert "claims replicated" in text
+        for outcome in outcomes:
+            assert outcome.claim.claim_id in text

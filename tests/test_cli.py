@@ -1,0 +1,50 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCliInProcess:
+    def test_help(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "info" in out and "experiments" in out and "claims" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "gpt2_large" in out
+        assert "a100" in out
+        assert "lowdiff" in out
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+
+    def test_experiments_subset(self, capsys):
+        assert main(["experiments", "exp7"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "gpt2_large" in out
+
+    def test_experiments_unknown_name(self, capsys):
+        assert main(["experiments", "exp99"]) == 2
+
+    def test_experiments_markdown(self, capsys):
+        assert main(["experiments", "exp7", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.lstrip().startswith("###")
+        assert "| model |" in out
+
+
+class TestCliSubprocess:
+    def test_module_entrypoint_runs(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "info"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "LowDiff" in completed.stdout

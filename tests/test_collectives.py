@@ -1,0 +1,136 @@
+"""Tests for collective communication primitives."""
+
+import numpy as np
+import pytest
+
+from repro.compression import TopKCompressor
+from repro.distributed.collectives import (
+    CommStats,
+    allgather,
+    allreduce_mean,
+    broadcast,
+    reduce_scatter_mean,
+    sparse_allreduce,
+)
+from repro.utils.rng import Rng
+
+
+def worker_grads(rng, count=3, shapes=((4,), (2, 3))):
+    return [
+        {f"t{i}": rng.child("w", w, i).normal(size=s) for i, s in enumerate(shapes)}
+        for w in range(count)
+    ]
+
+
+class TestAllreduce:
+    def test_mean_matches_numpy(self, rng):
+        grads = worker_grads(rng)
+        mean = allreduce_mean(grads)
+        for name in mean:
+            expected = np.mean([g[name] for g in grads], axis=0)
+            np.testing.assert_allclose(mean[name], expected, atol=1e-12)
+
+    def test_single_worker_identity(self, rng):
+        grads = worker_grads(rng, count=1)
+        mean = allreduce_mean(grads)
+        for name in mean:
+            np.testing.assert_allclose(mean[name], grads[0][name])
+
+    def test_disagreeing_names_rejected(self, rng):
+        grads = worker_grads(rng, count=2)
+        del grads[1]["t0"]
+        with pytest.raises(KeyError):
+            allreduce_mean(grads)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            allreduce_mean([])
+
+    def test_wire_bytes_recorded(self, rng):
+        stats = CommStats()
+        grads = worker_grads(rng, count=4)
+        allreduce_mean(grads, stats=stats)
+        size = sum(v.nbytes for v in grads[0].values())
+        assert stats.bytes_by_op["allreduce"] == 2 * 3 * size
+        assert stats.calls_by_op["allreduce"] == 1
+
+
+class TestAllgatherBroadcast:
+    def test_allgather_preserves_order(self, rng):
+        payloads = [object() for _ in range(4)]
+        gathered = allgather(payloads)
+        assert gathered == payloads
+
+    def test_broadcast_replicates_by_reference(self):
+        payload = {"w": np.ones(3)}
+        out = broadcast(payload, 3)
+        assert len(out) == 3
+        assert all(item is payload for item in out)
+
+    def test_broadcast_invalid_count(self):
+        with pytest.raises(ValueError):
+            broadcast({}, 0)
+
+
+class TestReduceScatter:
+    def test_shards_partition_parameters(self, rng):
+        grads = worker_grads(rng, count=2)
+        shards = reduce_scatter_mean(grads)
+        all_names = set()
+        for shard in shards:
+            assert not (all_names & set(shard))
+            all_names |= set(shard)
+        assert all_names == set(grads[0])
+
+    def test_shard_values_are_means(self, rng):
+        grads = worker_grads(rng, count=2)
+        mean = allreduce_mean(grads)
+        shards = reduce_scatter_mean(grads)
+        for shard in shards:
+            for name, value in shard.items():
+                np.testing.assert_allclose(value, mean[name])
+
+
+class TestSparseAllreduce:
+    def test_union_sum_matches_dense_mean_on_union(self, rng):
+        grads = worker_grads(rng, count=3)
+        compressor = TopKCompressor(0.5)
+        payloads = [compressor.compress(g) for g in grads]
+        merged = sparse_allreduce(payloads, average=True)
+        dense_sum = {
+            name: np.mean([p.decompress()[name] for p in payloads], axis=0)
+            for name in grads[0]
+        }
+        out = merged.decompress()
+        for name in out:
+            np.testing.assert_allclose(out[name], dense_sum[name], atol=1e-6)
+
+    def test_result_density_bounded_by_workers(self, rng):
+        grads = worker_grads(rng, count=4, shapes=((100,),))
+        compressor = TopKCompressor(0.05)
+        payloads = [compressor.compress(g) for g in grads]
+        merged = sparse_allreduce(payloads)
+        assert merged.num_selected <= 4 * 5
+        assert merged.num_selected >= 5
+
+    def test_no_average_option(self, rng):
+        grads = worker_grads(rng, count=2, shapes=((10,),))
+        compressor = TopKCompressor(0.5)
+        payloads = [compressor.compress(g) for g in grads]
+        summed = sparse_allreduce(payloads, average=False).decompress()["t0"]
+        averaged = sparse_allreduce(payloads, average=True).decompress()["t0"]
+        np.testing.assert_allclose(summed, 2 * averaged, atol=1e-6)
+
+    def test_shape_disagreement_rejected(self, rng):
+        a = TopKCompressor(0.5).compress({"w": rng.normal(size=(4,))})
+        b = TopKCompressor(0.5).compress({"w": rng.normal(size=(5,))})
+        with pytest.raises(KeyError):
+            sparse_allreduce([a, b])
+
+    def test_stats_record_gather_traffic(self, rng):
+        stats = CommStats()
+        grads = worker_grads(rng, count=2, shapes=((10,),))
+        payloads = [TopKCompressor(0.5).compress(g) for g in grads]
+        sparse_allreduce(payloads, stats=stats)
+        assert stats.bytes_by_op["sparse_allgather"] > 0
+        assert stats.total_bytes == stats.bytes_by_op["sparse_allgather"]

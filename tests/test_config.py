@@ -1,0 +1,178 @@
+"""Tests for the wasted-time model Eq. (3), optimum Eq. (5), and tuner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import (
+    AdaptiveTuner,
+    CheckpointConfig,
+    WastedTimeModel,
+    optimal_configuration,
+)
+
+
+def make_model(**overrides) -> WastedTimeModel:
+    defaults = dict(
+        num_gpus=8, mtbf_s=1800.0, write_bandwidth=3e9,
+        full_size_bytes=1.4e9, total_time_s=4 * 3600.0,
+        load_full_s=0.5, merge_diff_s=0.05,
+    )
+    defaults.update(overrides)
+    return WastedTimeModel(**defaults)
+
+
+class TestEquation3:
+    def test_wasted_time_positive(self):
+        model = make_model()
+        assert model.wasted_time(0.01, 1.0) > 0
+
+    def test_decomposes_into_recovery_and_steady(self):
+        model = make_model()
+        f, b = 0.01, 1.0
+        n, t, m = model.num_gpus, model.total_time_s, model.mtbf_s
+        recovery = (n * t / m) * (
+            b / 2 + model.load_full_s
+            + model.merge_diff_s / 2 * (1 / (f * b) - 1)
+        )
+        steady = n * t * model.full_size_bytes * f / model.write_bandwidth
+        assert model.wasted_time(f, b) == pytest.approx(recovery + steady)
+
+    def test_rejects_nonpositive_inputs(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            model.wasted_time(0.0, 1.0)
+        with pytest.raises(ValueError):
+            model.wasted_time(0.1, -1.0)
+
+    def test_partials_match_finite_differences(self):
+        model = make_model()
+        f, b = 0.02, 0.8
+        df, db = model.partials(f, b)
+        eps = 1e-7
+        df_num = (model.wasted_time(f + eps, b) - model.wasted_time(f - eps, b)) / (2 * eps)
+        db_num = (model.wasted_time(f, b + eps) - model.wasted_time(f, b - eps)) / (2 * eps)
+        assert df == pytest.approx(df_num, rel=1e-4)
+        assert db == pytest.approx(db_num, rel=1e-4)
+
+
+class TestEquation5:
+    def test_closed_form_matches_paper(self):
+        model = make_model()
+        f_star, b_star = model.optimal()
+        expected_f = (model.merge_diff_s * model.write_bandwidth**2
+                      / (4 * model.full_size_bytes**2 * model.mtbf_s**2)) ** (1 / 3)
+        expected_b = (2 * model.full_size_bytes * model.merge_diff_s
+                      * model.mtbf_s / model.write_bandwidth) ** (1 / 3)
+        assert f_star == pytest.approx(expected_f)
+        assert b_star == pytest.approx(expected_b)
+
+    def test_partials_vanish_at_optimum(self):
+        model = make_model()
+        f_star, b_star = model.optimal()
+        df, db = model.partials(f_star, b_star)
+        scale = abs(model.wasted_time(f_star, b_star))
+        assert abs(df * f_star) / scale < 1e-9
+        assert abs(db * b_star) / scale < 1e-9
+
+    @given(
+        st.floats(min_value=600, max_value=86400),      # mtbf
+        st.floats(min_value=1e8, max_value=1e10),       # bandwidth
+        st.floats(min_value=1e8, max_value=2e10),       # size
+        st.floats(min_value=0.01, max_value=30.0),      # merge_diff
+    )
+    @settings(max_examples=60)
+    def test_optimum_beats_perturbations(self, mtbf, bandwidth, size, merge):
+        """Property: Eq. (5) is a true local minimum of Eq. (3)."""
+        model = make_model(mtbf_s=mtbf, write_bandwidth=bandwidth,
+                           full_size_bytes=size, merge_diff_s=merge)
+        f_star, b_star = model.optimal()
+        best = model.wasted_time(f_star, b_star)
+        for factor_f in (0.5, 0.9, 1.1, 2.0):
+            for factor_b in (0.5, 0.9, 1.1, 2.0):
+                perturbed = model.wasted_time(f_star * factor_f, b_star * factor_b)
+                assert perturbed >= best * (1 - 1e-9)
+
+    def test_grid_minimum_near_optimum(self):
+        model = make_model()
+        f_star, b_star = model.optimal()
+        iter_time = 0.1
+        fcf_star = max(1, round(1.0 / (f_star * iter_time)))
+        bs_star = max(1, round(b_star / iter_time))
+        # A grid that contains the projected optimum and perturbations of
+        # both axes must bottom out at the projected optimum.
+        grid = model.grid(
+            sorted({max(1, round(fcf_star * k)) for k in (0.25, 0.5, 1.0, 2.0, 4.0)}),
+            sorted({max(1, round(bs_star * k)) for k in (0.25, 0.5, 1.0, 2.0, 4.0)}),
+            iter_time,
+        )
+        best_key = min(grid, key=grid.get)
+        assert best_key == (fcf_star, bs_star)
+
+
+class TestCheckpointConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointConfig(full_every_iters=0, batch_size=1)
+        with pytest.raises(ValueError):
+            CheckpointConfig(full_every_iters=1, batch_size=0)
+
+    def test_to_config_rounds_and_clamps(self):
+        model = make_model()
+        config = model.to_config(iter_time_s=0.1)
+        assert config.full_every_iters >= 1
+        assert 1 <= config.batch_size <= config.full_every_iters
+
+    def test_to_config_caps(self):
+        model = make_model(mtbf_s=86400 * 30)  # very rare failures
+        config = model.to_config(iter_time_s=0.1, max_full_every=100, max_batch=8)
+        assert config.full_every_iters <= 100
+        assert config.batch_size <= 8
+
+    def test_optimal_configuration_wrapper(self):
+        config = optimal_configuration(make_model(), iter_time_s=0.1)
+        assert isinstance(config, CheckpointConfig)
+
+
+class TestAdaptiveTuner:
+    def test_converges_to_analytic_target(self):
+        base = make_model()
+        tuner = AdaptiveTuner(base, iter_time_s=0.1,
+                              initial=CheckpointConfig(1000, 1))
+        target = base.to_config(0.1)
+        for _ in range(50):
+            tuner.adjust()
+        assert tuner.config.full_every_iters == target.full_every_iters
+        assert tuner.config.batch_size == target.batch_size
+
+    def test_moves_at_most_geometric_step(self):
+        tuner = AdaptiveTuner(make_model(), iter_time_s=0.1,
+                              initial=CheckpointConfig(100, 1))
+        before = tuner.config.full_every_iters
+        tuner.adjust()
+        after = tuner.config.full_every_iters
+        assert after >= before / 1.5 - 1
+
+    def test_observations_shift_the_model(self):
+        base = make_model()
+        tuner = AdaptiveTuner(base, iter_time_s=0.1)
+        # Failures arrive 10x more often than assumed.
+        for _ in range(5):
+            tuner.observe_failure_gap(base.mtbf_s / 10)
+        shifted = tuner.current_model()
+        assert shifted.mtbf_s == pytest.approx(base.mtbf_s / 10)
+        # More frequent failures => checkpoint more often (higher f*).
+        assert shifted.optimal()[0] > base.optimal()[0]
+
+    def test_bandwidth_observations(self):
+        base = make_model()
+        tuner = AdaptiveTuner(base, iter_time_s=0.1)
+        tuner.observe_write(nbytes=1_000_000, seconds=0.001)  # 1 GB/s
+        assert tuner.current_model().write_bandwidth == pytest.approx(1e9)
+
+    def test_invalid_observations_rejected(self):
+        tuner = AdaptiveTuner(make_model(), iter_time_s=0.1)
+        with pytest.raises(ValueError):
+            tuner.observe_failure_gap(0)
+        with pytest.raises(ValueError):
+            tuner.observe_write(10, 0)

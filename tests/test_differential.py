@@ -1,0 +1,117 @@
+"""Tests for StateDelta and Naïve-DC differential construction."""
+
+import numpy as np
+import pytest
+
+from repro.compression import DenseGradient, TopKCompressor
+from repro.core.differential import StateDelta, apply_state_delta, state_delta
+from repro.optim import Adam
+from repro.tensor.models import MLP
+from repro.utils.rng import Rng
+from tests.helpers import assert_states_equal
+
+
+def train_steps(model, optimizer, rng, steps=3):
+    """Advance a model a few optimizer steps with random gradients."""
+    states = [(model.state_dict(), optimizer.state_dict())]
+    for index in range(steps):
+        grads = {name: rng.child("g", index, name).normal(size=p.shape)
+                 for name, p in model.named_parameters()}
+        optimizer.step_with(grads)
+        states.append((model.state_dict(), optimizer.state_dict()))
+    return states
+
+
+class TestStateDelta:
+    def test_dense_delta_roundtrip_exact(self, rng):
+        """With rho ~ 1 (no real sparsification) the delta reproduces the
+        target state exactly — the Check-N-Run embedding-table regime."""
+        model = MLP(6, [8], 3, rng=Rng(0))
+        optimizer = Adam(model, lr=1e-2)
+        states = train_steps(model, optimizer, rng, steps=1)
+        (model_a, opt_a), (model_b, opt_b) = states
+        delta = state_delta(model_a, opt_a, model_b, opt_b, rho=0.999999)
+        restored_model, restored_opt = apply_state_delta(model_a, opt_a, delta)
+        assert_states_equal(restored_model, model_b, exact=False, atol=1e-6)
+        assert restored_opt["step_count"] == opt_b["step_count"]
+
+    def test_sparsified_delta_is_lossy_but_bounded(self, rng):
+        """At rho=0.1 most parameter deltas are dropped: Naïve DC recovery
+        is approximate for dense models (the paper's core criticism)."""
+        model = MLP(6, [8], 3, rng=Rng(0))
+        optimizer = Adam(model, lr=1e-2)
+        (model_a, opt_a), (model_b, opt_b) = train_steps(model, optimizer, rng, 1)
+        delta = state_delta(model_a, opt_a, model_b, opt_b, rho=0.1)
+        restored_model, _ = apply_state_delta(model_a, opt_a, delta)
+        for name in model_b:
+            error = np.abs(restored_model[name] - model_b[name]).max()
+            true_change = np.abs(model_b[name] - model_a[name]).max()
+            assert error <= true_change + 1e-12  # top-k keeps the largest
+
+    def test_optimizer_deltas_are_dense_and_exact(self, rng):
+        model = MLP(6, [8], 3, rng=Rng(0))
+        optimizer = Adam(model, lr=1e-2)
+        (model_a, opt_a), (model_b, opt_b) = train_steps(model, optimizer, rng, 1)
+        delta = state_delta(model_a, opt_a, model_b, opt_b, rho=0.01)
+        _, restored_opt = apply_state_delta(model_a, opt_a, delta)
+        for name in opt_b["slots"]:
+            for slot in opt_b["slots"][name]:
+                np.testing.assert_allclose(
+                    restored_opt["slots"][name][slot],
+                    opt_b["slots"][name][slot], atol=1e-12)
+
+    def test_add_is_exact_composition(self, rng):
+        """delta(a->b) + delta(b->c) applied to a == c (optimizer part;
+        parameter part exact when compression keeps everything)."""
+        model = MLP(6, [8], 3, rng=Rng(0))
+        optimizer = Adam(model, lr=1e-2)
+        states = train_steps(model, optimizer, rng, steps=2)
+        (ma, oa), (mb, ob), (mc, oc) = states
+        d1 = state_delta(ma, oa, mb, ob, rho=0.999999)
+        d2 = state_delta(mb, ob, mc, oc, rho=0.999999)
+        merged = d1.add(d2)
+        assert merged.step_count_delta == 2
+        restored_model, restored_opt = apply_state_delta(ma, oa, merged)
+        assert_states_equal(restored_model, mc, exact=False, atol=1e-5)
+        assert restored_opt["step_count"] == oc["step_count"]
+
+    def test_scale(self, rng):
+        model = MLP(4, [4], 2, rng=Rng(0))
+        optimizer = Adam(model, lr=1e-2)
+        (ma, oa), (mb, ob) = train_steps(model, optimizer, rng, 1)
+        delta = state_delta(ma, oa, mb, ob, rho=0.999999)
+        doubled = delta.scale(2.0)
+        for key in delta.optimizer_slots:
+            np.testing.assert_allclose(doubled.optimizer_slots[key],
+                                       2 * delta.optimizer_slots[key])
+
+    def test_nbytes_smaller_than_full_state(self, rng):
+        model = MLP(16, [32], 8, rng=Rng(0))
+        optimizer = Adam(model, lr=1e-2)
+        (ma, oa), (mb, ob) = train_steps(model, optimizer, rng, 1)
+        delta = state_delta(ma, oa, mb, ob, rho=0.01)
+        psi_bytes = sum(v.nbytes for v in ma.values())
+        # Params compressed, optimizer dense: ~2 Psi + epsilon < 3 Psi.
+        assert delta.nbytes < 3 * psi_bytes
+        assert delta.nbytes > 1.9 * psi_bytes
+
+    def test_mismatched_dicts_rejected(self, rng):
+        model = MLP(4, [4], 2, rng=Rng(0))
+        optimizer = Adam(model, lr=1e-2)
+        (ma, oa), (mb, ob) = train_steps(model, optimizer, rng, 1)
+        bad = dict(mb)
+        bad["extra"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            state_delta(ma, oa, bad, ob)
+
+    def test_add_mismatched_slots_rejected(self, rng):
+        a = StateDelta(DenseGradient({"w": np.zeros(2)}), {"w/m": np.zeros(2)})
+        b = StateDelta(DenseGradient({"w": np.zeros(2)}), {"w/v": np.zeros(2)})
+        with pytest.raises(KeyError):
+            a.add(b)
+
+    def test_copy_independent(self, rng):
+        delta = StateDelta(DenseGradient({"w": np.ones(2)}), {"w/m": np.ones(2)})
+        clone = delta.copy()
+        clone.optimizer_slots["w/m"][0] = 99
+        assert delta.optimizer_slots["w/m"][0] == 1.0

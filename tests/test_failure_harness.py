@@ -1,0 +1,107 @@
+"""Tests for the functional failure-injection drill."""
+
+import pytest
+
+from repro.core import CheckpointConfig, FailureDrill, default_lowdiff_factory
+from repro.optim import Adam
+from repro.storage import CheckpointStore, InMemoryBackend
+from repro.tensor.models import MLP
+from repro.utils.rng import Rng
+from tests.helpers import make_mlp_trainer
+
+
+def make_drill(config=None, seed=5):
+    return FailureDrill(
+        trainer_factory=lambda: make_mlp_trainer(seed=seed),
+        checkpointer_factory=default_lowdiff_factory(
+            config or CheckpointConfig(full_every_iters=10, batch_size=1)),
+        model_factory=lambda: MLP(8, [16, 16], 4, rng=Rng(0)),
+        optimizer_factory=lambda m: Adam(m, lr=1e-3),
+        store=CheckpointStore(InMemoryBackend()),
+    )
+
+
+def reference_state(seed=5, iterations=30):
+    trainer = make_mlp_trainer(seed=seed)
+    trainer.run(iterations)
+    return trainer.model_state()
+
+
+class TestFailureDrill:
+    def test_no_failures(self):
+        report = make_drill().run(20, crash_at=[],
+                                  reference_state=reference_state(iterations=20))
+        assert report.failures_injected == 0
+        assert report.total_iterations_executed == 20
+        assert report.final_matches_reference
+
+    def test_per_iteration_diffs_lose_nothing(self):
+        """BS=1 + inline checkpointing: every iteration is durable before
+        the crash, so no work is re-processed and the final state matches
+        the never-failed run bit-for-bit."""
+        report = make_drill().run(30, crash_at=[7, 18],
+                                  reference_state=reference_state())
+        assert report.failures_injected == 2
+        assert report.reprocessed_iterations == 0
+        assert report.total_iterations_executed == 30
+        assert report.final_matches_reference
+
+    def test_batched_writes_lose_in_flight_work(self):
+        """BS=4: the unwritten partial batch dies with the process, so up
+        to BS-1 iterations re-process per failure — the paper's b/2 cost,
+        observed functionally."""
+        config = CheckpointConfig(full_every_iters=12, batch_size=4)
+        report = make_drill(config).run(30, crash_at=[7, 18])
+        assert report.reprocessed_iterations > 0
+        assert report.reprocessed_iterations <= 2 * 3  # <= (BS-1) per crash
+        assert report.total_iterations_executed == \
+            30 + report.reprocessed_iterations
+
+    def test_back_to_back_crashes(self):
+        report = make_drill().run(15, crash_at=[3, 4, 5],
+                                  reference_state=reference_state(iterations=15))
+        assert report.failures_injected == 3
+        assert report.final_matches_reference
+
+    def test_crash_right_after_full_checkpoint(self):
+        report = make_drill().run(25, crash_at=[10],
+                                  reference_state=reference_state(iterations=25))
+        assert report.final_matches_reference
+        # Recovery landed exactly on the full checkpoint.
+        assert report.recovery_results[0].step == 10
+
+    def test_parallel_recovery_mode_with_sgd_linearity(self):
+        """Parallel recovery in the drill: exact when the batch size is 1
+        per record and diffs merge linearly (SGD)."""
+        from repro.optim import SGD
+        from repro.distributed import DataParallelTrainer, SyntheticClassification
+        from repro.compression import TopKCompressor
+
+        def trainer_factory():
+            return DataParallelTrainer(
+                model_builder=lambda rank: MLP(8, [16, 16], 4, rng=Rng(5)),
+                optimizer_builder=lambda m: SGD(m, lr=0.02),
+                loss_fn=__import__("repro.tensor.loss",
+                                   fromlist=["CrossEntropyLoss"]).CrossEntropyLoss(),
+                dataset=SyntheticClassification(8, 4, batch_size=4, seed=6),
+                num_workers=2,
+                compressor_builder=lambda: TopKCompressor(0.1),
+            )
+
+        drill = FailureDrill(
+            trainer_factory=trainer_factory,
+            checkpointer_factory=default_lowdiff_factory(
+                CheckpointConfig(full_every_iters=10, batch_size=1)),
+            model_factory=lambda: MLP(8, [16, 16], 4, rng=Rng(0)),
+            optimizer_factory=lambda m: SGD(m, lr=0.02),
+            store=CheckpointStore(InMemoryBackend()),
+        )
+        report = drill.run(20, crash_at=[13], parallel_recovery=True)
+        assert report.recovery_results[0].merge_depth >= 1
+        assert report.total_iterations_executed >= 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_drill().run(10, crash_at=[5, 3])
+        with pytest.raises(ValueError):
+            make_drill().run(10, crash_at=[10])

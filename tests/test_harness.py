@@ -1,0 +1,308 @@
+"""Tests for the experiment harness: every driver runs and reproduces the
+paper's qualitative claims (who wins, rough factors, crossovers)."""
+
+import pytest
+
+from repro.harness import (
+    ALL_EXPERIMENTS,
+    exp1,
+    exp2,
+    exp3,
+    exp4,
+    exp5,
+    exp6,
+    exp7,
+    exp8,
+    exp9,
+    exp10,
+    fig1,
+    render_table,
+    table1,
+)
+from repro.harness.common import ExperimentResult
+
+
+def by(result, **filters):
+    rows = result.find(**filters)
+    assert rows, f"no rows matching {filters}"
+    return rows
+
+
+class TestFig1:
+    def test_monotone_slowdown_with_frequency(self):
+        result = fig1.run(iterations=200)
+        for arm in ("computation", "transmission"):
+            rows = by(result, arm=arm)
+            slowdowns = [r["slowdown_pct"] for r in rows]
+            assert slowdowns == sorted(slowdowns)  # none, 8, 4, 2, 1
+            # Paper range ~12-57%: ours lands in the same decade.
+            assert 3.0 < slowdowns[-1] < 120.0
+
+
+class TestTable1:
+    def test_minimum_at_paper_cell(self):
+        result = table1.run()
+        values = {(row["fcf"], bs): row[f"bs{bs}"]
+                  for row in result.rows for bs in (1, 2, 3, 4, 5, 6)}
+        best = min(values, key=values.get)
+        assert best == (20, 2)
+        assert values[best] == pytest.approx(1.0)
+
+    def test_rows_have_interior_minima(self):
+        result = table1.run()
+        for row in result.rows:
+            if row["fcf"] in (50, 100):
+                # Paper: minimum at BS=3 for the slow-full rows — at least
+                # not at BS=1.
+                series = [row[f"bs{bs}"] for bs in (1, 2, 3, 4, 5, 6)]
+                assert series.index(min(series)) >= 1
+
+
+class TestExp1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp1.run(iterations=300)
+
+    def test_lowdiff_within_5_percent(self, result):
+        for row in by(result, method="lowdiff"):
+            assert row["vs_no_ckpt"] < 1.05, row["model"]
+
+    def test_method_ordering_on_gpt2(self, result):
+        for model in ("gpt2_small", "gpt2_large"):
+            ratios = {r["method"]: r["vs_no_ckpt"] for r in by(result, model=model)}
+            assert (ratios["lowdiff"] < ratios["gemini"]
+                    < ratios["naive_dc"] < ratios["checkfreq"])
+
+    def test_gpt2l_headline_factors(self, result):
+        ratios = {r["method"]: r["vs_no_ckpt"]
+                  for r in by(result, model="gpt2_large")}
+        # Paper: LowDiff cuts 89.2% vs CheckFreq => CheckFreq ~9x LowDiff.
+        assert ratios["checkfreq"] / ratios["lowdiff"] > 5.0
+        # Paper: 59.2% vs Gemini => Gemini ~2.5x LowDiff.
+        assert ratios["gemini"] / ratios["lowdiff"] > 1.8
+
+    def test_pipeline_vgg_row_present(self, result):
+        assert by(result, model="vgg16-pipeline", method="lowdiff")
+
+
+class TestExp2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp2.run(iterations=300, models=["gpt2_small", "gpt2_large"])
+
+    def test_lowdiff_plus_lowest(self, result):
+        for model in ("gpt2_small", "gpt2_large"):
+            ratios = {r["method"]: r["vs_no_ckpt"] for r in by(result, model=model)}
+            assert ratios["lowdiff+"] < ratios["gemini"] < ratios["checkfreq"]
+
+    def test_lowdiff_plus_overhead_moderate(self, result):
+        for row in by(result, method="lowdiff+"):
+            assert row["vs_no_ckpt"] < 1.15
+
+
+class TestExp3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp3.run()
+
+    def test_lowdiff_lowest_wasted_time(self, result):
+        for mtbf in (0.5, 1.0, 2.0):
+            rows = {r["method"]: r["wasted_h"] for r in by(result, mtbf_h=mtbf)}
+            assert rows["lowdiff"] < rows["gemini"]
+            assert rows["lowdiff"] < rows["naive_dc"]
+
+    def test_gap_to_others_stays_decisive(self, result):
+        """Paper additionally reports the LowDiff-Gemini gap *widening* as
+        MTBF shrinks; in our physical model both gaps are dominated by
+        Gemini's/Naive DC's constant steady-state overhead and stay
+        roughly constant instead (documented deviation — EXPERIMENTS.md).
+        The robust claims: the gap is decisively large at every failure
+        rate, and LowDiff's own wasted time grows with the failure rate."""
+        for mtbf in (0.5, 1.0, 2.0):
+            rows = {r["method"]: r["wasted_h"] for r in by(result, mtbf_h=mtbf)}
+            assert rows["gemini"] - rows["lowdiff"] > 0.5
+            assert rows["naive_dc"] - rows["lowdiff"] > 0.5
+        lowdiff_series = [r["wasted_h"] for r in by(result, method="lowdiff")]
+        assert lowdiff_series == sorted(lowdiff_series, reverse=True)
+
+    def test_wasted_time_decreases_with_mtbf(self, result):
+        for method in ("lowdiff", "checkfreq"):
+            series = [r["wasted_h"] for r in by(result, method=method)]
+            assert series == sorted(series, reverse=True)
+
+
+class TestExp4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp4.run(models=["gpt2_large", "resnet101"])
+
+    def test_lowdiff_per_iteration_everywhere(self, result):
+        for row in by(result, method="lowdiff"):
+            assert row["interval_iters"] == 1
+
+    def test_lowdiff_plus_memory_per_iteration(self, result):
+        for row in by(result, method="lowdiff+(S)"):
+            assert row["interval_iters"] == 1
+
+    def test_others_coarser_on_large_models(self, result):
+        rows = {r["method"]: r["interval_iters"]
+                for r in by(result, model="gpt2_large")}
+        assert rows["checkfreq"] > 1
+        assert rows["gemini"] > 1
+        assert rows["naive_dc"] > 1
+        assert rows["lowdiff+(P)"] <= 5  # paper: up to 3 for GPT2-L
+
+    def test_intervals_grow_with_model_size(self, result):
+        for method in ("checkfreq", "naive_dc"):
+            small = by(result, model="resnet101", method=method)[0]
+            large = by(result, model="gpt2_large", method=method)[0]
+            assert large["interval_iters"] >= small["interval_iters"]
+
+
+class TestExp5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp5.run()
+
+    def test_lowdiff_parallel_beats_baseline_and_naive(self, result):
+        for fcf in (10, 20, 50):
+            rows = {r["method"]: r["recovery_s"] for r in by(result, fcf_iters=fcf)}
+            assert rows["lowdiff-parallel"] < rows["naive_dc"] < rows["baseline"]
+
+    def test_lowdiff_plus_fastest(self, result):
+        for fcf in (5, 10, 20, 50):
+            rows = {r["method"]: r["recovery_s"] for r in by(result, fcf_iters=fcf)}
+            assert rows["lowdiff+(S)"] == min(rows.values())
+
+    def test_lowdiff_plus_speedup_range(self, result):
+        """Paper: 9.4x-57.1x faster than Baseline across FCF 5-50."""
+        rows5 = {r["method"]: r["recovery_s"] for r in by(result, fcf_iters=5)}
+        rows50 = {r["method"]: r["recovery_s"] for r in by(result, fcf_iters=50)}
+        assert rows5["baseline"] / rows5["lowdiff+(S)"] > 5.0
+        assert rows50["baseline"] / rows50["lowdiff+(S)"] > 50.0
+
+    def test_baseline_recovery_grows_with_fcf(self, result):
+        series = [r["recovery_s"] for r in by(result, method="baseline")]
+        assert series == sorted(series)
+
+    def test_lowdiff_parallel_nearly_flat(self, result):
+        series = [r["recovery_s"] for r in by(result, method="lowdiff-parallel")]
+        assert series[-1] / series[0] < 1.5  # log-depth: barely grows
+
+
+class TestExp6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp6.run(models=["gpt2_small", "gpt2_large"])
+
+    def test_batching_reduces_ckpt_time(self, result):
+        for model in ("gpt2_small", "gpt2_large"):
+            rows = by(result, model=model, metric="avg_ckpt_time_s")
+            series = {r["batch_size"]: r["vs_bs1_or_baseline"] for r in rows}
+            assert series[20] < series[1] == 1.0
+            # Paper: up to ~31% reduction; ours at least 20%.
+            assert series[20] < 0.8
+
+    def test_offload_keeps_memory_flat(self, result):
+        for model in ("gpt2_small", "gpt2_large"):
+            with_offload = by(result, model=model,
+                              metric="gpu_mem_with_offload")[0]
+            without = by(result, model=model,
+                         metric="gpu_mem_without_offload")[0]
+            assert with_offload["vs_bs1_or_baseline"] == pytest.approx(1.0)
+            assert 1.02 < without["vs_bs1_or_baseline"] < 1.4
+
+
+class TestExp7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp7.run()
+
+    def test_within_35_percent_of_paper_table(self, result):
+        for row in result.rows:
+            if row["paper_bytes"]:
+                assert 0.65 < row["ratio_to_paper"] < 1.35, row
+
+    def test_lowdiff_reduction_vs_naive(self, result):
+        """Paper: LowDiff cuts storage ~90.5% below Naive DC."""
+        for model in ("gpt2_large", "bert_large"):
+            rows = {r["method"]: r["bytes"] for r in by(result, model=model)}
+            assert rows["lowdiff"] < 0.15 * rows["naive_dc"]
+
+    def test_naive_reduction_vs_full(self, result):
+        """Paper: Naive DC is ~65.6% of a full checkpoint."""
+        for model in ("gpt2_large", "gpt2_small"):
+            rows = {r["method"]: r["bytes"] for r in by(result, model=model)}
+            assert 0.55 < rows["naive_dc"] / rows["full"] < 0.75
+
+
+class TestExp8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp8.run(rhos=[0.001, 0.01, 0.075, 0.1])
+
+    def test_gpt2s_per_iteration_everywhere(self, result):
+        for row in by(result, model="gpt2_small"):
+            assert row["interval_iters"] == 1
+
+    def test_gpt2l_frequent_in_common_range(self, result):
+        """Paper: interval < 3 over the common rho range; grows at 0.1."""
+        rows = {r["rho"]: r["interval_iters"] for r in by(result, model="gpt2_large")}
+        assert rows[0.001] == 1
+        assert rows[0.01] == 1
+        assert rows[0.1] <= 4
+        assert rows[0.1] >= rows[0.001]
+
+
+class TestExp9And10:
+    def test_exp9_lowdiff_highest_ratio(self):
+        result = exp9.run(mtbf_hours=[0.3, 1.0])
+        for mtbf in (0.3, 1.0):
+            rows = {r["method"]: r["effective_ratio"]
+                    for r in by(result, mtbf_h=mtbf)}
+            assert rows["lowdiff"] == max(rows.values())
+            assert rows["torch.save"] == min(rows.values())
+            assert rows["lowdiff"] > 0.85
+
+    def test_exp9_ratio_improves_with_mtbf(self):
+        result = exp9.run(mtbf_hours=[0.1, 1.0, 5.0])
+        for method in ("lowdiff", "lowdiff+"):
+            series = [r["effective_ratio"] for r in by(result, method=method)]
+            assert series == sorted(series)
+
+    def test_exp10_lowdiff_stays_on_top_at_scale(self):
+        result = exp10.run(gpu_counts=[8, 64])
+        for gpus in (8, 64):
+            rows = {r["method"]: r["effective_ratio"]
+                    for r in by(result, num_gpus=gpus)}
+            assert rows["lowdiff"] == max(rows.values())
+        # Degradation with scale, but LowDiff stays high (paper: 98%@64;
+        # our physical restart costs land lower but the standing holds).
+        rows64 = {r["method"]: r["effective_ratio"]
+                  for r in by(result, num_gpus=64)}
+        assert rows64["lowdiff"] > 0.85
+
+
+class TestRunnerPlumbing:
+    def test_all_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "fig1", "table1", "exp1", "exp2", "exp3", "exp4", "exp5",
+            "exp6", "exp7", "exp8", "exp9", "exp10",
+        }
+
+    def test_render_table_smoke(self):
+        result = ExperimentResult(
+            experiment="x", title="T", columns=["a", "b"],
+            rows=[{"a": 1, "b": 2.5}], notes="n",
+        )
+        text = render_table(result)
+        assert "T" in text and "2.500" in text and "note: n" in text
+
+    def test_runall_markdown(self):
+        from repro.harness.runall import render_markdown
+        result = ExperimentResult(
+            experiment="x", title="T", columns=["a"], rows=[{"a": 1}],
+        )
+        markdown = render_markdown(result)
+        assert markdown.startswith("### T")
+        assert "| a |" in markdown

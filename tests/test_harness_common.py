@@ -1,0 +1,105 @@
+"""Tests for harness plumbing and remaining strategy failure-profile cases."""
+
+import pytest
+
+from repro.harness.common import (
+    ExperimentResult,
+    default_cluster,
+    render_table,
+    simulate,
+)
+from repro.sim import GeminiStrategy, TrainingSim, Workload
+from repro.sim.cluster import A100_CLUSTER, V100_CLUSTER
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            experiment="x", title="T", columns=["a", "b"],
+            rows=[{"a": 1, "b": "u"}, {"a": 2, "b": "v"}, {"a": 1, "b": "w"}],
+        )
+
+    def test_column(self):
+        assert self.make().column("a") == [1, 2, 1]
+
+    def test_find_single_filter(self):
+        rows = self.make().find(a=1)
+        assert [r["b"] for r in rows] == ["u", "w"]
+
+    def test_find_conjunction(self):
+        rows = self.make().find(a=1, b="w")
+        assert len(rows) == 1
+
+    def test_find_no_match(self):
+        assert self.make().find(a=99) == []
+
+
+class TestRenderTable:
+    def test_floats_formatted(self):
+        result = ExperimentResult(experiment="x", title="T", columns=["v"],
+                                  rows=[{"v": 1.23456}])
+        assert "1.235" in render_table(result)
+        assert "1.2" in render_table(result, "{:.1f}")
+
+    def test_missing_cells_blank(self):
+        result = ExperimentResult(experiment="x", title="T",
+                                  columns=["a", "b"], rows=[{"a": 1}])
+        text = render_table(result)
+        assert "T" in text  # renders without KeyError
+
+    def test_empty_rows(self):
+        result = ExperimentResult(experiment="x", title="T", columns=["a"])
+        text = render_table(result)
+        assert "T" in text
+
+
+class TestSimulateHelper:
+    def test_returns_result_and_strategy(self):
+        result, strategy = simulate("gpt2_small", "lowdiff", rho=0.01,
+                                    iterations=50, full_every=25, batch_size=2)
+        assert result.iterations == 50
+        assert strategy.full_every == 25
+
+    def test_default_cluster_lookup(self):
+        assert default_cluster("a100") is A100_CLUSTER
+        assert default_cluster("v100") is V100_CLUSTER
+        with pytest.raises(KeyError):
+            default_cluster("h100")
+
+
+class TestGeminiFailureProfiles:
+    def bind(self, **kwargs):
+        workload = Workload.create("gpt2_small", A100_CLUSTER, rho=0.01)
+        strategy = GeminiStrategy(**kwargs)
+        TrainingSim(workload, strategy)
+        return strategy
+
+    def test_software_recovery_faster_than_hardware(self):
+        """Local CPU memory intact (PCIe reload) beats fetching the
+        replica from a peer over the network."""
+        strategy = self.bind(every=1)
+        software = strategy.failure_profile("software")
+        hardware = strategy.failure_profile("hardware")
+        assert software.recovery_time_s < hardware.recovery_time_s
+        assert software.lost_iterations == hardware.lost_iterations == 0.5
+
+    def test_lost_work_scales_with_interval(self):
+        fine = self.bind(every=1)
+        coarse = self.bind(every=8)
+        assert (coarse.failure_profile().lost_iterations
+                > fine.failure_profile().lost_iterations)
+
+    def test_memory_tier_has_no_durable_bytes(self):
+        strategy = self.bind(every=1)
+        assert strategy.storage_bytes_per_iter() == 0.0
+
+    def test_replication_traffic_on_network(self):
+        workload = Workload.create("gpt2_small", A100_CLUSTER, rho=0.01)
+        strategy = GeminiStrategy(every=1)
+        result = TrainingSim(workload, strategy).run(50)
+        # Replication bytes beyond the gradient-sync baseline.
+        sync_only = TrainingSim(
+            Workload.create("gpt2_small", A100_CLUSTER, rho=0.01),
+            GeminiStrategy(every=10_000),
+        ).run(50)
+        assert result.bytes_over_network > sync_only.bytes_over_network

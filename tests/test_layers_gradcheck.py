@@ -1,0 +1,291 @@
+"""Numeric gradient checks for every layer.
+
+For each layer we define a scalar loss ``L = sum(forward(x) * R)`` with a
+fixed random projection ``R``; the analytic input/parameter gradients
+must match central finite differences.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tensor.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    GELU,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    MultiHeadAttention,
+    PositionalEmbedding,
+    ReLU,
+    Residual,
+    Tanh,
+    TransformerBlock,
+)
+from repro.utils.rng import Rng
+
+EPS = 1e-6
+TOL = 1e-5
+
+
+def scalar_loss_and_grad(layer, x, projection):
+    out = layer.forward(x)
+    return float((out * projection).sum()), projection
+
+
+def check_input_gradient(layer, x, rng, tol=TOL):
+    out = layer.forward(x)
+    projection = rng.normal(size=out.shape)
+    layer.zero_grad()
+    layer.forward(x)
+    grad_input = layer.backward(projection)
+    numeric = np.zeros_like(x)
+    flat_x = x.reshape(-1)
+    flat_num = numeric.reshape(-1)
+    for index in range(flat_x.size):
+        original = flat_x[index]
+        flat_x[index] = original + EPS
+        loss_plus = float((layer.forward(x) * projection).sum())
+        flat_x[index] = original - EPS
+        loss_minus = float((layer.forward(x) * projection).sum())
+        flat_x[index] = original
+        flat_num[index] = (loss_plus - loss_minus) / (2 * EPS)
+    np.testing.assert_allclose(grad_input, numeric, atol=tol, rtol=tol)
+
+
+def check_param_gradients(layer, x, rng, tol=TOL):
+    out = layer.forward(x)
+    projection = rng.normal(size=out.shape)
+    layer.zero_grad()
+    layer.forward(x)
+    layer.backward(projection)
+    for name, param in layer.named_parameters():
+        if not param.requires_grad:
+            continue
+        analytic = param.grad.copy()
+        numeric = np.zeros_like(param.data)
+        flat_p = param.data.reshape(-1)
+        flat_n = numeric.reshape(-1)
+        for index in range(flat_p.size):
+            original = flat_p[index]
+            flat_p[index] = original + EPS
+            loss_plus = float((layer.forward(x) * projection).sum())
+            flat_p[index] = original - EPS
+            loss_minus = float((layer.forward(x) * projection).sum())
+            flat_p[index] = original
+            flat_n[index] = (loss_plus - loss_minus) / (2 * EPS)
+        np.testing.assert_allclose(analytic, numeric, atol=tol, rtol=tol,
+                                   err_msg=name)
+
+
+class TestLinear:
+    def test_input_gradient(self, rng):
+        layer = Linear(4, 3, rng=rng.child("l"))
+        check_input_gradient(layer, rng.normal(size=(2, 4)), rng.child("p"))
+
+    def test_param_gradients(self, rng):
+        layer = Linear(4, 3, rng=rng.child("l"))
+        check_param_gradients(layer, rng.normal(size=(2, 4)), rng.child("p"))
+
+    def test_3d_input(self, rng):
+        layer = Linear(4, 3, rng=rng.child("l"))
+        check_input_gradient(layer, rng.normal(size=(2, 5, 4)), rng.child("p"))
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, rng=rng.child("l"), bias=False)
+        assert layer.bias is None
+        check_param_gradients(layer, rng.normal(size=(2, 4)), rng.child("p"))
+
+
+class TestConv2d:
+    def test_input_gradient(self, rng):
+        layer = Conv2d(2, 3, 3, padding=1, rng=rng.child("c"))
+        check_input_gradient(layer, rng.normal(size=(2, 2, 4, 4)), rng.child("p"))
+
+    def test_param_gradients(self, rng):
+        layer = Conv2d(2, 3, 3, padding=1, rng=rng.child("c"))
+        check_param_gradients(layer, rng.normal(size=(1, 2, 4, 4)), rng.child("p"))
+
+    def test_strided(self, rng):
+        layer = Conv2d(2, 2, 3, stride=2, padding=1, rng=rng.child("c"))
+        check_input_gradient(layer, rng.normal(size=(1, 2, 6, 6)), rng.child("p"))
+
+    def test_output_shape(self, rng):
+        layer = Conv2d(3, 8, 3, stride=2, padding=1, rng=rng.child("c"))
+        out = layer.forward(rng.normal(size=(2, 3, 8, 8)))
+        assert out.shape == (2, 8, 4, 4)
+
+
+class TestPooling:
+    def test_maxpool_gradient(self, rng):
+        layer = MaxPool2d(2)
+        check_input_gradient(layer, rng.normal(size=(2, 2, 4, 4)), rng.child("p"))
+
+    def test_maxpool_rejects_indivisible(self, rng):
+        with pytest.raises(ValueError):
+            MaxPool2d(3).forward(rng.normal(size=(1, 1, 4, 4)))
+
+    def test_maxpool_duplicates_route_to_first(self):
+        layer = MaxPool2d(2)
+        x = np.ones((1, 1, 2, 2))  # all equal: tie
+        layer.forward(x)
+        grads = layer.backward(np.ones((1, 1, 1, 1)))
+        assert grads.sum() == pytest.approx(1.0)  # exactly one winner
+
+    def test_avgpool_gradient(self, rng):
+        layer = AvgPool2d(2)
+        check_input_gradient(layer, rng.normal(size=(2, 2, 4, 4)), rng.child("p"))
+
+    def test_global_avgpool_gradient(self, rng):
+        layer = AvgPool2d(None)
+        check_input_gradient(layer, rng.normal(size=(2, 2, 4, 4)), rng.child("p"))
+
+
+class TestActivations:
+    @pytest.mark.parametrize("layer_cls", [ReLU, GELU, Tanh])
+    def test_gradient(self, layer_cls, rng):
+        check_input_gradient(layer_cls(), rng.normal(size=(3, 5)), rng.child("p"))
+
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4))
+        out = layer.forward(x)
+        assert out.shape == (2, 12)
+        assert layer.backward(out).shape == x.shape
+
+
+class TestDropout:
+    def test_identity_when_p_zero(self, rng):
+        layer = Dropout(0.0, rng=rng)
+        x = rng.normal(size=(4, 4))
+        np.testing.assert_array_equal(layer.forward(x), x)
+
+    def test_identity_in_eval(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        layer.train(False)
+        x = rng.normal(size=(4, 4))
+        np.testing.assert_array_equal(layer.forward(x), x)
+
+    def test_scaling_preserves_expectation(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = np.ones((200, 200))
+        out = layer.forward(x)
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = np.ones((8, 8))
+        out = layer.forward(x)
+        grads = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(out == 0, grads == 0)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestNormalization:
+    def test_layernorm_input_gradient(self, rng):
+        layer = LayerNorm(6)
+        check_input_gradient(layer, rng.normal(size=(3, 6)), rng.child("p"))
+
+    def test_layernorm_param_gradients(self, rng):
+        layer = LayerNorm(6)
+        check_param_gradients(layer, rng.normal(size=(3, 6)), rng.child("p"))
+
+    def test_layernorm_output_standardized(self, rng):
+        layer = LayerNorm(16)
+        out = layer.forward(rng.normal(loc=5.0, scale=3.0, size=(4, 16)))
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_batchnorm_input_gradient(self, rng):
+        layer = BatchNorm2d(3)
+        check_input_gradient(layer, rng.normal(size=(4, 3, 2, 2)), rng.child("p"),
+                             tol=1e-4)
+
+    def test_batchnorm_param_gradients(self, rng):
+        layer = BatchNorm2d(3)
+        check_param_gradients(layer, rng.normal(size=(4, 3, 2, 2)), rng.child("p"),
+                              tol=1e-4)
+
+    def test_batchnorm_running_stats_tracked(self, rng):
+        layer = BatchNorm2d(2, track_running_stats=True, momentum=0.5)
+        x = rng.normal(loc=2.0, size=(8, 2, 4, 4))
+        layer.forward(x)
+        assert abs(layer.running_mean.data.mean() - 1.0) < 1.0  # moved off 0
+        # Running stats are frozen parameters: in checkpoints, not trained.
+        assert not layer.running_mean.requires_grad
+
+
+class TestEmbeddings:
+    def test_embedding_gradient_scatter(self, rng):
+        layer = Embedding(10, 4, rng=rng.child("e"))
+        ids = np.array([[1, 2, 1]])
+        layer.zero_grad()
+        out = layer.forward(ids)
+        layer.backward(np.ones_like(out))
+        grad = dict(layer.named_parameters())["weight"].grad
+        # Token 1 appears twice: its row accumulates two contributions.
+        np.testing.assert_array_equal(grad[1], 2 * np.ones(4))
+        np.testing.assert_array_equal(grad[2], np.ones(4))
+        np.testing.assert_array_equal(grad[3], np.zeros(4))
+
+    def test_embedding_rejects_bad_ids(self, rng):
+        layer = Embedding(10, 4, rng=rng)
+        with pytest.raises(IndexError):
+            layer.forward(np.array([[11]]))
+        with pytest.raises(TypeError):
+            layer.forward(np.array([[0.5]]))
+
+    def test_positional_embedding_gradient(self, rng):
+        layer = PositionalEmbedding(8, 4, rng=rng.child("pe"))
+        check_param_gradients(layer, rng.normal(size=(2, 5, 4)), rng.child("p"))
+
+    def test_positional_rejects_long_sequence(self, rng):
+        layer = PositionalEmbedding(4, 4, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 5, 4)))
+
+
+class TestAttention:
+    def test_input_gradient(self, rng):
+        layer = MultiHeadAttention(8, 2, rng=rng.child("a"))
+        check_input_gradient(layer, rng.normal(size=(2, 3, 8)), rng.child("p"),
+                             tol=1e-4)
+
+    def test_param_gradients(self, rng):
+        layer = MultiHeadAttention(8, 2, rng=rng.child("a"))
+        check_param_gradients(layer, rng.normal(size=(1, 3, 8)), rng.child("p"),
+                              tol=1e-4)
+
+    def test_causal_masking(self, rng):
+        layer = MultiHeadAttention(8, 2, causal=True, rng=rng.child("a"))
+        x = rng.normal(size=(1, 4, 8))
+        out_full = layer.forward(x)
+        # Perturbing a future token must not change earlier outputs.
+        x_perturbed = x.copy()
+        x_perturbed[0, 3] += 10.0
+        out_perturbed = layer.forward(x_perturbed)
+        np.testing.assert_allclose(out_full[0, :3], out_perturbed[0, :3],
+                                   atol=1e-10)
+
+    def test_rejects_bad_head_count(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(7, 2)
+
+
+class TestCompositeBlocks:
+    def test_transformer_block_gradient(self, rng):
+        layer = TransformerBlock(8, 2, rng=rng.child("b"))
+        check_input_gradient(layer, rng.normal(size=(1, 3, 8)), rng.child("p"),
+                             tol=1e-4)
+
+    def test_residual_gradient(self, rng):
+        layer = Residual(Linear(6, 6, rng=rng.child("r")))
+        check_input_gradient(layer, rng.normal(size=(2, 6)), rng.child("p"))
+        check_param_gradients(layer, rng.normal(size=(2, 6)), rng.child("p2"))

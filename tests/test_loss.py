@@ -1,0 +1,94 @@
+"""Tests for loss functions and softmax helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tensor.loss import CrossEntropyLoss, MSELoss, log_softmax, softmax
+from repro.utils.rng import Rng
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = Rng(0).normal(size=(5, 7))
+        np.testing.assert_allclose(softmax(x).sum(axis=-1), 1.0, atol=1e-12)
+
+    def test_numerically_stable_for_large_logits(self):
+        x = np.array([[1000.0, 1000.0, -1000.0]])
+        out = softmax(x)
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out[0, :2], 0.5, atol=1e-9)
+
+    def test_log_softmax_consistent(self):
+        x = Rng(1).normal(size=(3, 4))
+        np.testing.assert_allclose(log_softmax(x), np.log(softmax(x)), atol=1e-12)
+
+    @given(st.lists(st.floats(min_value=-50, max_value=50), min_size=2, max_size=8))
+    @settings(max_examples=50)
+    def test_invariant_to_constant_shift(self, logits):
+        x = np.array([logits])
+        np.testing.assert_allclose(softmax(x), softmax(x + 123.0), atol=1e-9)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self):
+        logits = np.array([[2.0, 1.0, 0.0]])
+        targets = np.array([0])
+        loss, _ = CrossEntropyLoss()(logits, targets)
+        expected = -np.log(np.exp(2.0) / np.exp([2.0, 1.0, 0.0]).sum())
+        assert loss == pytest.approx(expected)
+
+    def test_gradient_via_finite_differences(self):
+        rng = Rng(2)
+        logits = rng.normal(size=(3, 5))
+        targets = np.array([1, 4, 0])
+        loss_fn = CrossEntropyLoss()
+        _, grad = loss_fn(logits, targets)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(5):
+                perturbed = logits.copy()
+                perturbed[i, j] += eps
+                plus, _ = loss_fn(perturbed, targets)
+                perturbed[i, j] -= 2 * eps
+                minus, _ = loss_fn(perturbed, targets)
+                numeric = (plus - minus) / (2 * eps)
+                assert grad[i, j] == pytest.approx(numeric, abs=1e-6)
+
+    def test_3d_logits(self):
+        rng = Rng(3)
+        logits = rng.normal(size=(2, 4, 6))
+        targets = rng.integers(0, 6, size=(2, 4))
+        loss, grad = CrossEntropyLoss()(logits, targets)
+        assert np.isfinite(loss)
+        assert grad.shape == logits.shape
+        # Gradient rows sum to zero (softmax minus one-hot).
+        np.testing.assert_allclose(grad.sum(axis=-1), 0.0, atol=1e-12)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = CrossEntropyLoss()(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(np.zeros((2, 3)), np.zeros(3, dtype=int))
+
+
+class TestMSE:
+    def test_value_and_gradient(self):
+        pred = np.array([1.0, 2.0, 3.0])
+        target = np.array([1.0, 1.0, 1.0])
+        loss, grad = MSELoss()(pred, target)
+        assert loss == pytest.approx((0 + 1 + 4) / 3)
+        np.testing.assert_allclose(grad, 2 * (pred - target) / 3)
+
+    def test_zero_at_perfect(self):
+        x = Rng(0).normal(size=(3, 3))
+        loss, grad = MSELoss()(x, x.copy())
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MSELoss()(np.zeros((2, 3)), np.zeros((3, 2)))

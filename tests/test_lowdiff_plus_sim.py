@@ -1,0 +1,77 @@
+"""Unit tests for the LowDiff+ strategy's layer-wise pipeline model."""
+
+import pytest
+
+from repro.sim import LowDiffPlusStrategy, TrainingSim, Workload
+from repro.sim.cluster import A100_CLUSTER, V100_CLUSTER
+
+
+def bound_strategy(model, cluster=A100_CLUSTER, **kwargs):
+    workload = Workload.create(model, cluster, rho=None)
+    strategy = LowDiffPlusStrategy(**kwargs)
+    TrainingSim(workload, strategy)  # binds
+    return strategy, workload
+
+
+class TestLayerwiseTail:
+    def test_tail_nonnegative(self):
+        for model in ("resnet101", "vgg19", "bert_large", "gpt2_large"):
+            strategy, _ = bound_strategy(model)
+            assert strategy._layerwise_snapshot_tail() >= 0.0
+
+    def test_tail_bounded_by_serial_transfer(self):
+        """The pipelined tail never exceeds the fully-serial worst case
+        (all transfers after backward ends)."""
+        strategy, workload = bound_strategy("gpt2_large")
+        serial = workload.snapshot_time(workload.dense_gradient_bytes)
+        assert strategy._layerwise_snapshot_tail() <= serial
+
+    def test_slow_pcie_increases_tail(self):
+        fast, _ = bound_strategy("gpt2_large", cluster=A100_CLUSTER)
+        slow, _ = bound_strategy("gpt2_large", cluster=V100_CLUSTER)
+        assert (slow._layerwise_snapshot_tail()
+                >= fast._layerwise_snapshot_tail())
+
+    def test_tail_zero_when_bandwidth_ample(self):
+        # ResNet-101: 178 MB of gradients vs 24 GB/s PCIe across a 110 ms
+        # iteration — the pipeline drains entirely behind training.
+        strategy, _ = bound_strategy("resnet101")
+        assert strategy._layerwise_snapshot_tail() == pytest.approx(0.0)
+
+
+class TestPersistCadence:
+    def test_explicit_persist_every_respected(self):
+        workload = Workload.create("gpt2_large", A100_CLUSTER, rho=None)
+        strategy = LowDiffPlusStrategy(persist_every=7)
+        result = TrainingSim(workload, strategy).run(70)
+        assert result.checkpoint_counts["persist"] == 10
+        assert result.checkpoint_counts["in_memory"] == 70
+
+    def test_auto_cadence_never_zero(self):
+        for model in ("resnet50", "gpt2_large"):
+            strategy, _ = bound_strategy(model)
+            assert strategy.persist_every >= 1
+
+    def test_sharded_persist_reduces_cadence(self):
+        workload = Workload.create("gpt2_large", A100_CLUSTER, rho=None)
+        sharded = LowDiffPlusStrategy(sharded_persist=True)
+        unsharded = LowDiffPlusStrategy(sharded_persist=False)
+        TrainingSim(workload, sharded)
+        TrainingSim(workload, unsharded)
+        assert sharded.persist_every <= unsharded.persist_every
+
+    def test_storage_rate_follows_cadence(self):
+        workload = Workload.create("gpt2_small", A100_CLUSTER, rho=None)
+        strategy = LowDiffPlusStrategy(persist_every=4)
+        TrainingSim(workload, strategy)
+        assert strategy.storage_bytes_per_iter() == pytest.approx(
+            workload.full_checkpoint_bytes / 4)
+
+
+class TestRemoteStrategyFactory:
+    def test_make_strategy_forwards_remote_kwarg(self):
+        from repro.sim import make_strategy
+        strategy = make_strategy("lowdiff", remote_storage=True)
+        assert strategy.remote_storage is True
+        strategy = make_strategy("checkfreq", remote_storage=True, every=5)
+        assert strategy.remote_storage is True and strategy.every == 5

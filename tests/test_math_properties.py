@@ -1,0 +1,120 @@
+"""Hypothesis properties over the numerical core: the identities the
+paper's Findings rest on, checked across random shapes and values."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import TopKCompressor
+from repro.optim import Adam, SGD
+from repro.tensor.layers import LayerNorm, Linear, ReLU
+from repro.tensor.parameter import Parameter
+from repro.utils.rng import Rng
+
+
+def params_like(values):
+    return [Parameter(np.asarray(values, dtype=np.float64), name="p0")]
+
+
+small_arrays = st.lists(
+    st.floats(-100, 100, allow_nan=False, width=32), min_size=1, max_size=12
+).map(lambda xs: np.asarray(xs, dtype=np.float64))
+
+
+class TestFinding1Identity:
+    """Finding 1: C^D_t = Adam(G_t) = M_{t+1} - M_t, i.e. replaying the
+    gradient reconstructs the exact state change."""
+
+    @given(small_arrays, small_arrays)
+    @settings(max_examples=80)
+    def test_adam_delta_equals_replay(self, initial, grad):
+        if initial.shape != grad.shape:
+            grad = np.resize(grad, initial.shape)
+        live = params_like(initial)
+        adam_live = Adam(live, lr=0.01)
+        adam_live.step_with({"p0": grad})
+        replayed = params_like(initial)
+        adam_replay = Adam(replayed, lr=0.01)
+        adam_replay.load_state_dict(
+            {"type": "Adam", "lr": 0.01, "step_count": 0,
+             "slots": {"p0": {"m": np.zeros_like(initial),
+                              "v": np.zeros_like(initial)}}})
+        adam_replay.step_with({"p0": grad})
+        np.testing.assert_array_equal(live[0].data, replayed[0].data)
+
+    @given(small_arrays,
+           st.lists(small_arrays, min_size=1, max_size=5))
+    @settings(max_examples=40)
+    def test_full_trajectory_replay(self, initial, grads):
+        grads = [np.resize(g, initial.shape) for g in grads]
+        live = params_like(initial)
+        opt = Adam(live, lr=0.01)
+        for g in grads:
+            opt.step_with({"p0": g})
+        replay = params_like(initial)
+        opt2 = Adam(replay, lr=0.01)
+        for g in grads:
+            opt2.step_with({"p0": g})
+        np.testing.assert_array_equal(live[0].data, replay[0].data)
+
+
+class TestSgdLinearity:
+    """SGD without momentum is linear: the property parallel recovery's
+    single accumulated application depends on."""
+
+    @given(small_arrays, st.lists(small_arrays, min_size=2, max_size=6),
+           st.floats(1e-4, 0.5))
+    @settings(max_examples=60)
+    def test_sum_of_steps_equals_step_of_sum(self, initial, grads, lr):
+        grads = [np.resize(g, initial.shape) for g in grads]
+        sequential = params_like(initial)
+        opt_seq = SGD(sequential, lr=lr)
+        for g in grads:
+            opt_seq.step_with({"p0": g})
+        merged = params_like(initial)
+        SGD(merged, lr=lr).step_with({"p0": np.sum(grads, axis=0)})
+        np.testing.assert_allclose(sequential[0].data, merged[0].data,
+                                   atol=1e-9, rtol=1e-9)
+
+
+class TestCompressionIdempotence:
+    @given(st.integers(4, 64), st.floats(0.05, 0.9))
+    @settings(max_examples=60)
+    def test_compress_is_projection(self, size, rho):
+        """Compressing an already-compressed (densified) gradient with the
+        same rho keeps it unchanged: top-k is a projection."""
+        grads = {"w": Rng(size).normal(size=(size,))}
+        compressor = TopKCompressor(rho)
+        once = compressor.compress(grads).decompress()
+        twice = compressor.compress(once).decompress()
+        np.testing.assert_allclose(once["w"], twice["w"], atol=1e-6)
+
+
+class TestLayerShapePolymorphism:
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 6),
+           st.integers(1, 6))
+    @settings(max_examples=40)
+    def test_linear_handles_any_leading_axes(self, b1, b2, d_in, d_out):
+        layer = Linear(d_in, d_out, rng=Rng(d_in * 10 + d_out))
+        x = Rng(0).normal(size=(b1, b2, d_in))
+        out = layer.forward(x)
+        assert out.shape == (b1, b2, d_out)
+        layer.zero_grad()
+        grad_in = layer.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+
+    @given(st.integers(2, 16), st.integers(1, 4))
+    @settings(max_examples=40)
+    def test_layernorm_standardizes_any_batch(self, dim, batch):
+        layer = LayerNorm(dim)
+        x = Rng(dim).normal(loc=3.0, scale=2.0, size=(batch, dim))
+        out = layer.forward(x)
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+
+    @given(small_arrays)
+    @settings(max_examples=40)
+    def test_relu_idempotent(self, x):
+        layer = ReLU()
+        once = layer.forward(x)
+        twice = layer.forward(once)
+        np.testing.assert_array_equal(once, twice)

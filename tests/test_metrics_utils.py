@@ -1,0 +1,89 @@
+"""Tests for evaluation metric helpers and the engine's sync contention."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.metrics import accuracy, evaluate_classifier, perplexity
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        logits = np.array([[0.1, 5.0], [9.0, 0.0]])
+        assert accuracy(logits, np.array([1, 0])) == 1.0
+
+    def test_partial(self):
+        logits = np.array([[0.1, 5.0], [0.0, 9.0]])
+        assert accuracy(logits, np.array([1, 0])) == 0.5
+
+    def test_3d_logits(self):
+        logits = np.zeros((2, 3, 4))
+        logits[..., 2] = 1.0
+        targets = np.full((2, 3), 2)
+        assert accuracy(logits, targets) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((2, 3)), np.zeros((3,), dtype=int))
+
+
+class TestPerplexity:
+    def test_zero_loss(self):
+        assert perplexity(0.0) == 1.0
+
+    def test_matches_exp(self):
+        assert perplexity(2.0) == pytest.approx(math.exp(2.0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            perplexity(-0.1)
+
+    def test_large_loss_does_not_overflow(self):
+        assert math.isfinite(perplexity(10_000.0))
+
+
+class TestEvaluateClassifier:
+    def test_trained_model_beats_chance(self):
+        from repro.distributed import SyntheticClassification
+        from repro.optim import Adam
+        from repro.tensor.loss import CrossEntropyLoss
+        from repro.tensor.models import MLP
+        from repro.utils.rng import Rng
+
+        data = SyntheticClassification(8, 4, batch_size=16, seed=1, spread=3.0)
+        model = MLP(8, [32], 4, rng=Rng(2))
+        optimizer = Adam(model, lr=3e-3)
+        loss_fn = CrossEntropyLoss()
+        for iteration in range(80):
+            inputs, targets = data.batch(0, iteration)
+            model.zero_grad()
+            _, grad = loss_fn(model.forward(inputs), targets)
+            model.backward(grad)
+            optimizer.step()
+        metrics = evaluate_classifier(model, data, loss_fn)
+        assert metrics["accuracy"] > 0.6  # 4 classes: chance = 0.25
+        assert metrics["loss"] < 1.0
+
+
+class TestEngineSyncContention:
+    def test_network_carries_sync_traffic(self):
+        from repro.sim import NoCheckpoint, TrainingSim, Workload
+        from repro.sim.cluster import A100_CLUSTER
+
+        workload = Workload.create("gpt2_large", A100_CLUSTER, rho=0.01)
+        sim = TrainingSim(workload, NoCheckpoint())
+        result = sim.run(50)
+        # 50 iterations of cross-node ring traffic landed on the NIC.
+        assert result.bytes_over_network > 0
+        expected = 50 * 2 * workload.synced_gradient_bytes() * 0.5
+        assert result.bytes_over_network == pytest.approx(expected, rel=1e-6)
+
+    def test_single_node_cluster_has_no_sync_traffic(self):
+        from repro.sim import NoCheckpoint, TrainingSim, Workload
+        from repro.sim.cluster import A100_CLUSTER, scaled_cluster
+
+        workload = Workload.create("gpt2_small", scaled_cluster(A100_CLUSTER, 4),
+                                   rho=0.01)
+        result = TrainingSim(workload, NoCheckpoint()).run(20)
+        assert result.bytes_over_network == 0.0

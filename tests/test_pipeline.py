@@ -1,0 +1,153 @@
+"""Tests for pipeline parallelism: stage splitting and numerical exactness."""
+
+import numpy as np
+import pytest
+
+from tests.helpers import assert_states_equal
+from repro.compression import TopKCompressor
+from repro.distributed import PipelineParallelTrainer, SyntheticImages, split_stages
+from repro.distributed.pipeline import _StageRuntime
+from repro.optim import Adam
+from repro.tensor.layers import Linear, ReLU
+from repro.tensor.loss import CrossEntropyLoss
+from repro.tensor.models import MiniVGG
+from repro.utils.rng import Rng
+
+
+def make_vgg(seed=4):
+    return MiniVGG(num_classes=10, base_channels=4, stages=(1, 1),
+                   image_size=8, rng=Rng(seed))
+
+
+def make_pipeline(num_stages=2, num_microbatches=2, seed=4, compressor=None):
+    model = make_vgg(seed)
+    return PipelineParallelTrainer(
+        model=model,
+        optimizer=Adam(model, lr=1e-3),
+        loss_fn=CrossEntropyLoss(),
+        dataset=SyntheticImages(image_size=8, batch_size=4, seed=seed + 1),
+        num_stages=num_stages,
+        num_microbatches=num_microbatches,
+        compressor=compressor,
+    )
+
+
+class TestSplitStages:
+    def test_stages_are_contiguous_partition(self):
+        layers = [Linear(4, 4, rng=Rng(i)) for i in range(6)]
+        stages = split_stages(layers, 3)
+        flattened = [layer for stage in stages for layer in stage]
+        assert flattened == layers
+        assert len(stages) == 3
+        assert all(stage for stage in stages)
+
+    def test_single_stage(self):
+        layers = [Linear(4, 4, rng=Rng(0)), ReLU()]
+        assert split_stages(layers, 1) == [layers]
+
+    def test_balance_by_parameter_count(self):
+        # One huge layer followed by small ones: the huge layer should sit
+        # alone in the first stage.
+        layers = [Linear(100, 100, rng=Rng(0))] + \
+                 [Linear(4, 4, rng=Rng(i)) for i in range(1, 5)]
+        stages = split_stages(layers, 2)
+        assert len(stages[0]) == 1
+
+    def test_too_many_stages_rejected(self):
+        with pytest.raises(ValueError):
+            split_stages([ReLU()], 2)
+        with pytest.raises(ValueError):
+            split_stages([ReLU()], 0)
+
+
+class TestPipelineExactness:
+    def test_matches_single_process_training(self):
+        """GPipe with m microbatches == plain training on the full batch."""
+        pipeline = make_pipeline(num_stages=2, num_microbatches=2)
+        pipeline.run(5)
+
+        reference_model = make_vgg()
+        reference_opt = Adam(reference_model, lr=1e-3)
+        data = SyntheticImages(image_size=8, batch_size=4, seed=5)
+        loss_fn = CrossEntropyLoss()
+        for iteration in range(5):
+            inputs, targets = data.batch(0, iteration)
+            reference_model.zero_grad()
+            loss, grad = loss_fn(reference_model.forward(inputs), targets)
+            reference_model.backward(grad)
+            reference_opt.step()
+        assert_states_equal(pipeline.model_state(),
+                            reference_model.state_dict(), exact=False,
+                            atol=1e-10)
+
+    def test_microbatch_count_invariance(self):
+        """1, 2 and 4 microbatches produce the same trained weights."""
+        results = []
+        for microbatches in (1, 2, 4):
+            pipeline = make_pipeline(num_microbatches=microbatches)
+            pipeline.run(3)
+            results.append(pipeline.model_state())
+        assert_states_equal(results[0], results[1], exact=False, atol=1e-10)
+        assert_states_equal(results[0], results[2], exact=False, atol=1e-10)
+
+    def test_stage_count_invariance(self):
+        results = []
+        for stages in (1, 2, 3):
+            pipeline = make_pipeline(num_stages=stages)
+            pipeline.run(3)
+            results.append(pipeline.model_state())
+        assert_states_equal(results[0], results[1])
+        assert_states_equal(results[0], results[2])
+
+    def test_indivisible_batch_rejected(self):
+        pipeline = make_pipeline(num_microbatches=3)  # batch 4 % 3 != 0
+        with pytest.raises(ValueError):
+            pipeline.step()
+
+    def test_requires_sequential_model(self):
+        from repro.tensor.models import MiniBERT
+        with pytest.raises(TypeError):
+            PipelineParallelTrainer(
+                model=MiniBERT(rng=Rng(0)),
+                optimizer=Adam(MiniBERT(rng=Rng(0)), lr=1e-3),
+                loss_fn=CrossEntropyLoss(),
+                dataset=None,
+                num_stages=2,
+            )
+
+
+class TestPipelineGradientReuse:
+    def test_synced_hook_payload_replayable(self):
+        """Gradient reuse works under pipeline parallelism (Exp. 1's VGG16
+        arm): the hook payload replays to the exact post-update state."""
+        pipeline = make_pipeline(compressor=TopKCompressor(0.2))
+        payloads = []
+        pipeline.register_synced_gradient_hook(
+            lambda it, payload: payloads.append(payload))
+        before_model = pipeline.model_state()
+        before_opt = pipeline.optimizer_state()
+        pipeline.step()
+        after = pipeline.model_state()
+
+        replay_model = make_vgg()
+        replay_model.load_state_dict(before_model)
+        replay_opt = Adam(replay_model, lr=1e-3)
+        replay_opt.load_state_dict(before_opt)
+        replay_opt.step_with(payloads[0].decompress())
+        assert_states_equal(replay_model.state_dict(), after, exact=True)
+
+    def test_loss_decreases(self):
+        pipeline = make_pipeline()
+        records = pipeline.run(30)
+        losses = [r.loss for r in records]
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_state_roundtrip(self):
+        pipeline = make_pipeline()
+        pipeline.run(3)
+        saved_model = pipeline.model_state()
+        saved_opt = pipeline.optimizer_state()
+        pipeline.run(3)
+        pipeline.load_state(saved_model, saved_opt, iteration=3)
+        assert pipeline.iteration == 3
+        assert_states_equal(pipeline.model_state(), saved_model)

@@ -1,0 +1,223 @@
+"""Tests for serial and parallel recovery (§VI)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.compression import TopKCompressor
+from repro.core.recovery import (
+    merge_payloads,
+    merge_tree_depth,
+    parallel_recover,
+    serial_recover,
+)
+from repro.optim import SGD, Adam
+from repro.storage import CheckpointStore, InMemoryBackend
+from repro.tensor.models import MLP
+from repro.utils.rng import Rng
+from tests.helpers import assert_states_equal
+
+
+def fresh_model_opt(optimizer_cls=Adam, seed=0, **opt_kwargs):
+    model = MLP(6, [8], 3, rng=Rng(seed))
+    opt_kwargs.setdefault("lr", 1e-2)
+    return model, optimizer_cls(model, **opt_kwargs)
+
+
+def populate_store(store, model, optimizer, rng, steps=6, batch=1,
+                   compressor=None):
+    """Simulate training: full at 0, diff per step; returns final states."""
+    compressor = compressor or TopKCompressor(0.5)
+    store.save_full(0, model.state_dict(), optimizer.state_dict())
+    pending = []
+    for step in range(1, steps + 1):
+        grads = {name: rng.child("g", step, name).normal(size=p.shape)
+                 for name, p in model.named_parameters()}
+        payload = compressor.compress(grads)
+        optimizer.step_with(payload.decompress())
+        pending.append((step, payload))
+        if len(pending) == batch:
+            merged = pending[0][1]
+            for _, item in pending[1:]:
+                merged = merged.add(item)
+            store.save_diff(pending[0][0], pending[-1][0], merged,
+                            count=len(pending))
+            pending = []
+    return model.state_dict(), optimizer.state_dict()
+
+
+class TestMergeTreeDepth:
+    @pytest.mark.parametrize("count,expected", [
+        (0, 0), (1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4),
+    ])
+    def test_depth(self, count, expected):
+        assert merge_tree_depth(count) == expected
+
+
+class TestSerialRecovery:
+    def test_bit_exact_with_adam(self, rng):
+        store = CheckpointStore(InMemoryBackend())
+        model, optimizer = fresh_model_opt(Adam)
+        final_model, final_opt = populate_store(store, model, optimizer, rng)
+        target_model, target_opt = fresh_model_opt(Adam, seed=9)
+        result = serial_recover(store, target_model, target_opt)
+        assert result.diffs_loaded == 6
+        assert result.step == 6
+        assert_states_equal(target_model.state_dict(), final_model)
+        for name in final_opt["slots"]:
+            np.testing.assert_array_equal(
+                target_opt.state_dict()["slots"][name]["m"],
+                final_opt["slots"][name]["m"])
+
+    def test_bit_exact_with_sgd(self, rng):
+        store = CheckpointStore(InMemoryBackend())
+        model, optimizer = fresh_model_opt(SGD, lr=0.05)
+        final_model, _ = populate_store(store, model, optimizer, rng)
+        target_model, target_opt = fresh_model_opt(SGD, seed=9, lr=0.05)
+        serial_recover(store, target_model, target_opt)
+        assert_states_equal(target_model.state_dict(), final_model)
+
+    def test_no_full_checkpoint_raises(self):
+        store = CheckpointStore(InMemoryBackend())
+        model, optimizer = fresh_model_opt()
+        with pytest.raises(FileNotFoundError):
+            serial_recover(store, model, optimizer)
+
+    def test_recovery_from_middle_full(self, rng):
+        """Recovery starts from the *latest* full and replays the tail."""
+        store = CheckpointStore(InMemoryBackend())
+        model, optimizer = fresh_model_opt()
+        compressor = TopKCompressor(0.5)
+        store.save_full(0, model.state_dict(), optimizer.state_dict())
+        for step in range(1, 7):
+            grads = {name: rng.child("g", step, name).normal(size=p.shape)
+                     for name, p in model.named_parameters()}
+            payload = compressor.compress(grads)
+            optimizer.step_with(payload.decompress())
+            store.save_diff(step, step, payload)
+            if step == 3:
+                store.save_full(3, model.state_dict(), optimizer.state_dict())
+        final = model.state_dict()
+        target_model, target_opt = fresh_model_opt(seed=9)
+        result = serial_recover(store, target_model, target_opt)
+        assert result.full_step == 3
+        assert result.diffs_loaded == 3  # only steps 4..6 replayed
+        assert_states_equal(target_model.state_dict(), final)
+
+    def test_batched_records_advance_step_count(self, rng):
+        store = CheckpointStore(InMemoryBackend())
+        model, optimizer = fresh_model_opt()
+        populate_store(store, model, optimizer, rng, steps=6, batch=3)
+        target_model, target_opt = fresh_model_opt(seed=9)
+        result = serial_recover(store, target_model, target_opt)
+        # 2 batched records, each representing 3 gradients.
+        assert result.diffs_loaded == 2
+        assert result.gradients_replayed == 6
+        assert target_opt.step_count == 6
+
+    def test_gap_truncates_recovery(self, rng):
+        store = CheckpointStore(InMemoryBackend())
+        model, optimizer = fresh_model_opt()
+        compressor = TopKCompressor(0.5)
+        store.save_full(0, model.state_dict(), optimizer.state_dict())
+        for step in (1, 2, 4):  # 3 missing: chain must stop at 2
+            grads = {name: rng.child("g", step, name).normal(size=p.shape)
+                     for name, p in model.named_parameters()}
+            store.save_diff(step, step, compressor.compress(grads))
+        target_model, target_opt = fresh_model_opt(seed=9)
+        result = serial_recover(store, target_model, target_opt)
+        assert result.diffs_loaded == 2
+        assert result.step == 2
+
+
+class TestParallelRecovery:
+    def test_exact_for_sgd(self, rng):
+        """SGD without momentum is linear: tree-merged recovery is exact."""
+        store = CheckpointStore(InMemoryBackend())
+        model, optimizer = fresh_model_opt(SGD, lr=0.05)
+        final_model, _ = populate_store(store, model, optimizer, rng)
+        target_model, target_opt = fresh_model_opt(SGD, seed=9, lr=0.05)
+        result = parallel_recover(store, target_model, target_opt)
+        # Payload values are stored fp32 on the wire; each tree merge
+        # rounds to fp32, so exactness is up to fp32 resolution.
+        assert_states_equal(target_model.state_dict(), final_model,
+                            exact=False, atol=1e-5)
+        assert result.merge_ops == 5
+        assert result.merge_depth == math.ceil(math.log2(6))
+        assert result.apply_ops == 1
+        assert target_opt.step_count == 6
+
+    def test_merge_counts_log_depth(self, rng):
+        for steps in (2, 4, 7, 16):
+            store = CheckpointStore(InMemoryBackend())
+            model, optimizer = fresh_model_opt(SGD, lr=0.05, seed=steps)
+            populate_store(store, model, optimizer, rng.child(steps),
+                           steps=steps)
+            target_model, target_opt = fresh_model_opt(SGD, seed=99, lr=0.05)
+            result = parallel_recover(store, target_model, target_opt)
+            assert result.merge_ops == steps - 1
+            assert result.merge_depth == math.ceil(math.log2(steps))
+
+    def test_approximate_for_adam(self, rng):
+        """Adam is nonlinear: parallel recovery has gradient-accumulation
+        semantics — close but not bit-equal (documented in DESIGN.md)."""
+        store = CheckpointStore(InMemoryBackend())
+        model, optimizer = fresh_model_opt(Adam, lr=1e-3)
+        final_model, _ = populate_store(store, model, optimizer, rng)
+        target_model, target_opt = fresh_model_opt(Adam, seed=9, lr=1e-3)
+        parallel_recover(store, target_model, target_opt)
+        recovered = target_model.state_dict()
+        for name in final_model:
+            # Within a few step-sizes of the exact state.
+            assert np.abs(recovered[name] - final_model[name]).max() < 0.05
+        assert target_opt.step_count == 6
+
+    def test_tree_merge_equals_serial_fold(self, rng):
+        payloads = [
+            TopKCompressor(0.4).compress(
+                {"w": rng.child(i).normal(size=(30,))})
+            for i in range(7)
+        ]
+        serial = merge_payloads(payloads).decompress()["w"]
+        # Tree order (as parallel_recover builds it).
+        level = payloads
+        while len(level) > 1:
+            nxt = [level[i].add(level[i + 1]) for i in range(0, len(level) - 1, 2)]
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        np.testing.assert_allclose(level[0].decompress()["w"], serial, atol=1e-5)
+
+    def test_empty_diff_chain(self, rng):
+        store = CheckpointStore(InMemoryBackend())
+        model, optimizer = fresh_model_opt()
+        store.save_full(0, model.state_dict(), optimizer.state_dict())
+        result = parallel_recover(store, model, optimizer)
+        assert result.diffs_loaded == 0
+        assert result.merge_ops == 0
+
+    def test_exact_for_state_deltas(self, rng):
+        """Naïve-DC deltas add exactly: parallel == serial, bit for bit."""
+        from repro.core.differential import state_delta
+        store = CheckpointStore(InMemoryBackend())
+        model, optimizer = fresh_model_opt(Adam)
+        store.save_full(0, model.state_dict(), optimizer.state_dict())
+        prev_m, prev_o = model.state_dict(), optimizer.state_dict()
+        for step in range(1, 6):
+            grads = {name: rng.child("g", step, name).normal(size=p.shape)
+                     for name, p in model.named_parameters()}
+            optimizer.step_with(grads)
+            cur_m, cur_o = model.state_dict(), optimizer.state_dict()
+            store.save_diff(step, step,
+                            state_delta(prev_m, prev_o, cur_m, cur_o,
+                                        rho=0.999999))
+            prev_m, prev_o = cur_m, cur_o
+        serial_model, serial_opt = fresh_model_opt(seed=8)
+        serial_recover(store, serial_model, serial_opt)
+        par_model, par_opt = fresh_model_opt(seed=9)
+        result = parallel_recover(store, par_model, par_opt)
+        assert_states_equal(serial_model.state_dict(), par_model.state_dict(),
+                            exact=False, atol=1e-5)
+        assert serial_opt.step_count == par_opt.step_count == 5
+        assert result.merge_depth == math.ceil(math.log2(5))

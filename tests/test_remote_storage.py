@@ -1,0 +1,73 @@
+"""Tests for remote-storage persistence in the simulator.
+
+The paper's checkpoints go to "local or remote storage"; remote targets
+push writes through the 25 Gbps network instead of the local SSD, which
+is slightly slower per byte AND contends with gradient synchronization —
+LowDiff's small payloads are what keep per-iteration frequency viable
+there.
+"""
+
+import pytest
+
+from repro.sim import (
+    CheckFreqStrategy,
+    FullSyncStrategy,
+    LowDiffStrategy,
+    TrainingSim,
+    Workload,
+)
+from repro.sim.cluster import A100_CLUSTER
+
+
+def run(strategy, model="gpt2_large", rho=0.01, iterations=300):
+    workload = Workload.create(model, A100_CLUSTER, rho=rho)
+    return TrainingSim(workload, strategy).run(iterations)
+
+
+class TestRemoteStorage:
+    def test_remote_full_checkpoints_slower_than_local(self):
+        """Full-state methods suffer on remote storage: 9.1 GB per
+        checkpoint through a 3.125 GB/s NIC vs a 3 GB/s local SSD plus
+        contention with gradient sync."""
+        local = run(CheckFreqStrategy(every=1))
+        remote = run(CheckFreqStrategy(every=1, remote_storage=True))
+        assert remote.total_time > local.total_time
+
+    def test_remote_lowdiff_stays_cheap_on_moderate_models(self):
+        """LowDiff's small payloads keep remote per-iteration
+        checkpointing affordable for GPT2-S-class models."""
+        remote = run(LowDiffStrategy(full_every=100, batch_size=2,
+                                     remote_storage=True),
+                     model="gpt2_small")
+        assert remote.overhead_fraction < 0.05
+
+    def test_remote_gpt2l_near_nic_saturation(self):
+        """GPT2-L's 0.47 GB/iter differentials + gradient sync nearly
+        saturate a shared 25 Gbps NIC: overhead rises (our model ~15%),
+        but stays an order of magnitude below the full-state methods."""
+        remote = run(LowDiffStrategy(full_every=100, batch_size=2,
+                                     remote_storage=True))
+        assert 0.02 < remote.overhead_fraction < 0.35
+
+    def test_remote_bytes_land_on_network(self):
+        remote = run(LowDiffStrategy(full_every=100, batch_size=2,
+                                     remote_storage=True), iterations=100)
+        local = run(LowDiffStrategy(full_every=100, batch_size=2),
+                    iterations=100)
+        assert remote.bytes_to_storage == 0.0
+        assert remote.bytes_over_network > local.bytes_over_network
+        assert local.bytes_to_storage > 0.0
+
+    def test_full_sync_remote_persist_stall_grows(self):
+        local = run(FullSyncStrategy(every=10))
+        remote = run(FullSyncStrategy(every=10, remote_storage=True))
+        assert (remote.stalls_by_cause["persist"]
+                > local.stalls_by_cause["persist"])
+
+    def test_ordering_preserved_on_remote_storage(self):
+        """The paper's headline ordering holds on remote storage too."""
+        lowdiff = run(LowDiffStrategy(full_every=100, batch_size=2,
+                                      remote_storage=True))
+        checkfreq = run(CheckFreqStrategy(every=1, remote_storage=True))
+        assert lowdiff.total_time < checkfreq.total_time
+        assert checkfreq.total_time / lowdiff.total_time > 3.0

@@ -1,0 +1,154 @@
+"""Tests for the reusing queue: FIFO, ordering, close semantics, threading."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.compression import TopKCompressor
+from repro.core.reusing_queue import QueueClosed, ReusingQueue
+from repro.utils.rng import Rng
+
+
+def payload(rng, size=10):
+    return TopKCompressor(0.5).compress({"w": rng.normal(size=(size,))})
+
+
+class TestFifoOrdering:
+    def test_items_dequeue_in_order(self, rng):
+        queue = ReusingQueue()
+        items = [payload(rng) for _ in range(5)]
+        for index, item in enumerate(items):
+            queue.put(index, item)
+        for index in range(5):
+            iteration, item = queue.get(timeout=0.1)
+            assert iteration == index
+            assert item is items[index]  # zero-copy: the same object
+
+    def test_non_monotonic_put_rejected(self, rng):
+        queue = ReusingQueue()
+        queue.put(3, payload(rng))
+        with pytest.raises(ValueError):
+            queue.put(3, payload(rng))
+        with pytest.raises(ValueError):
+            queue.put(1, payload(rng))
+
+    def test_drain_returns_everything(self, rng):
+        queue = ReusingQueue()
+        for index in range(4):
+            queue.put(index, payload(rng))
+        drained = queue.drain()
+        assert [it for it, _ in drained] == [0, 1, 2, 3]
+        assert len(queue) == 0
+        assert queue.get_count == 4
+
+
+class TestCloseSemantics:
+    def test_get_raises_after_close_and_drain(self, rng):
+        queue = ReusingQueue()
+        queue.put(0, payload(rng))
+        queue.close()
+        queue.get(timeout=0.1)  # pending item still retrievable
+        with pytest.raises(QueueClosed):
+            queue.get(timeout=0.1)
+
+    def test_put_after_close_rejected(self, rng):
+        queue = ReusingQueue()
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put(0, payload(rng))
+
+    def test_get_timeout(self):
+        queue = ReusingQueue()
+        with pytest.raises(TimeoutError):
+            queue.get(timeout=0.05)
+
+
+class TestZeroCopyAndTelemetry:
+    def test_zero_copy_passes_same_object(self, rng):
+        queue = ReusingQueue(copy_mode=False)
+        item = payload(rng)
+        queue.put(0, item)
+        _, out = queue.get(timeout=0.1)
+        assert out is item
+        assert queue.copied_bytes == 0
+
+    def test_copy_mode_copies_and_counts_bytes(self, rng):
+        queue = ReusingQueue(copy_mode=True)
+        item = payload(rng)
+        queue.put(0, item)
+        _, out = queue.get(timeout=0.1)
+        assert out is not item
+        np.testing.assert_array_equal(out.decompress()["w"],
+                                      item.decompress()["w"])
+        assert queue.copied_bytes == item.nbytes
+
+    def test_max_depth_tracked(self, rng):
+        queue = ReusingQueue()
+        for index in range(3):
+            queue.put(index, payload(rng))
+        queue.get(timeout=0.1)
+        queue.put(3, payload(rng))
+        assert queue.max_depth == 3
+        assert queue.put_count == 4
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            ReusingQueue(maxsize=-1)
+
+
+class TestThreading:
+    def test_producer_consumer_preserves_order(self, rng):
+        queue = ReusingQueue(maxsize=4)
+        items = [payload(rng) for _ in range(50)]
+        received = []
+
+        def consumer():
+            while True:
+                try:
+                    iteration, item = queue.get(timeout=2.0)
+                except QueueClosed:
+                    return
+                received.append(iteration)
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        for index, item in enumerate(items):
+            queue.put(index, item)
+        queue.close()
+        thread.join(timeout=5.0)
+        assert received == list(range(50))
+
+    def test_bounded_queue_backpressure(self, rng):
+        """A full queue blocks the producer until the consumer drains."""
+        queue = ReusingQueue(maxsize=2)
+        queue.put(0, payload(rng))
+        queue.put(1, payload(rng))
+        state = {"unblocked_at": None}
+
+        def slow_consumer():
+            time.sleep(0.05)
+            queue.get(timeout=1.0)
+
+        thread = threading.Thread(target=slow_consumer)
+        thread.start()
+        start = time.perf_counter()
+        queue.put(2, payload(rng))  # blocks until the consumer frees a slot
+        elapsed = time.perf_counter() - start
+        thread.join()
+        assert elapsed >= 0.04
+
+    def test_close_wakes_blocked_producer(self, rng):
+        queue = ReusingQueue(maxsize=1)
+        queue.put(0, payload(rng))
+
+        def closer():
+            time.sleep(0.05)
+            queue.close()
+
+        thread = threading.Thread(target=closer)
+        thread.start()
+        with pytest.raises(QueueClosed):
+            queue.put(1, payload(rng))
+        thread.join()

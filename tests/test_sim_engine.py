@@ -1,0 +1,184 @@
+"""Tests for the performance-simulator engine and workload model."""
+
+import numpy as np
+import pytest
+
+from repro.sim import NoCheckpoint, TrainingSim, Workload
+from repro.sim.cluster import (
+    A100_CLUSTER,
+    V100_CLUSTER,
+    ClusterSpec,
+    CostModel,
+    scaled_cluster,
+)
+from repro.sim.engine import Resource
+from repro.sim.workload import SPARSE_BYTES_PER_ELEMENT
+
+
+class TestResource:
+    def test_fifo_serialization(self):
+        resource = Resource("ssd")
+        start1, end1 = resource.schedule(ready=0.0, duration=2.0)
+        start2, end2 = resource.schedule(ready=1.0, duration=1.0)
+        assert (start1, end1) == (0.0, 2.0)
+        assert (start2, end2) == (2.0, 3.0)  # queued behind the first op
+
+    def test_idle_gap(self):
+        resource = Resource("net")
+        resource.schedule(ready=0.0, duration=1.0)
+        start, end = resource.schedule(ready=5.0, duration=1.0)
+        assert (start, end) == (5.0, 6.0)
+
+    def test_backlog(self):
+        resource = Resource("pcie")
+        resource.schedule(ready=0.0, duration=3.0)
+        assert resource.backlog(1.0) == pytest.approx(2.0)
+        assert resource.backlog(4.0) == 0.0
+
+    def test_accounting(self):
+        resource = Resource("x")
+        resource.schedule(0.0, 1.0, nbytes=100)
+        resource.schedule(0.0, 2.0, nbytes=200)
+        assert resource.busy_time == 3.0
+        assert resource.bytes_moved == 300
+        assert resource.op_count == 2
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Resource("x").schedule(0.0, -1.0)
+
+
+class TestClusterSpec:
+    def test_paper_testbed_constants(self):
+        assert A100_CLUSTER.num_gpus == 8
+        assert A100_CLUSTER.network_bandwidth == pytest.approx(3.125e9)
+        assert V100_CLUSTER.pcie_bandwidth < A100_CLUSTER.pcie_bandwidth
+
+    def test_scaled_cluster(self):
+        big = scaled_cluster(V100_CLUSTER, 64)
+        assert big.num_gpus == 64
+        assert big.num_nodes == 16
+        with pytest.raises(ValueError):
+            scaled_cluster(V100_CLUSTER, 10)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(name="bad", num_nodes=0, gpus_per_node=4,
+                        network_bandwidth=1e9, network_latency=0,
+                        pcie_bandwidth=1e9, nvlink_bandwidth=1e9,
+                        ssd_write_bandwidth=1e9, ssd_read_bandwidth=1e9,
+                        host_memory=1e9, cpu_update_throughput=1e9)
+
+
+class TestWorkload:
+    def test_sizes_follow_finding_2(self):
+        workload = Workload.create("gpt2_large", A100_CLUSTER, rho=0.01)
+        # Full state = 3 Psi (params + two Adam moments).
+        assert workload.full_checkpoint_bytes == 3 * workload.dense_gradient_bytes
+        # A compressed gradient is far smaller than a Naive-DC diff.
+        assert workload.synced_gradient_bytes() < 0.2 * workload.naive_dc_diff_bytes()
+
+    def test_union_density(self):
+        workload = Workload.create("gpt2_small", A100_CLUSTER, rho=0.01)
+        expected = 1 - (1 - 0.01) ** 8
+        assert workload.union_density() == pytest.approx(expected)
+        dense = Workload.create("gpt2_small", A100_CLUSTER, rho=None)
+        assert dense.union_density() == 1.0
+
+    def test_batched_bytes_monotone_and_saturating(self):
+        workload = Workload.create("gpt2_small", A100_CLUSTER, rho=0.01)
+        sizes = [workload.batched_diff_bytes(b) for b in (1, 2, 5, 20, 100)]
+        assert all(a < b for a, b in zip(sizes, sizes[1:]))
+        cap = workload.psi * SPARSE_BYTES_PER_ELEMENT
+        assert sizes[-1] <= cap
+
+    def test_naive_dc_bytes_matches_paper_structure(self):
+        """rho*Psi sparse params + 2 Psi dense optimizer: ~2/3 of full."""
+        workload = Workload.create("gpt2_large", A100_CLUSTER, rho=0.01)
+        ratio = workload.naive_dc_diff_bytes() / workload.full_checkpoint_bytes
+        assert 0.6 < ratio < 0.72  # paper: 65.6% of full
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError):
+            Workload.create("gpt2_small", A100_CLUSTER, rho=1.5)
+
+    def test_sync_time_zero_for_single_node(self):
+        single = scaled_cluster(A100_CLUSTER, 4)
+        workload = Workload.create("gpt2_small", single, rho=0.01)
+        assert workload.sync_time() == pytest.approx(
+            single.network_latency)
+
+    def test_recovery_cost_components(self):
+        workload = Workload.create("gpt2_small", A100_CLUSTER, rho=0.01)
+        assert workload.load_full_time() > workload.merge_diff_time(1)
+        assert workload.merge_diff_time(4) > workload.merge_diff_time(1)
+
+
+class TestTrainingSim:
+    def test_no_checkpoint_has_zero_overhead(self):
+        workload = Workload.create("gpt2_small", A100_CLUSTER, rho=0.01)
+        result = TrainingSim(workload, NoCheckpoint()).run(100)
+        assert result.stall_time == 0.0
+        assert result.overhead_fraction == pytest.approx(0.0, abs=1e-12)
+        assert result.total_time == pytest.approx(result.compute_time)
+
+    def test_baseline_iter_identical_across_strategies(self):
+        from repro.sim import CheckFreqStrategy
+        workload = Workload.create("gpt2_small", A100_CLUSTER, rho=0.01)
+        sim_a = TrainingSim(workload, NoCheckpoint())
+        sim_b = TrainingSim(workload, CheckFreqStrategy(every=5))
+        assert sim_a.baseline_iter_time() == sim_b.baseline_iter_time()
+
+    def test_total_equals_compute_plus_stalls(self):
+        from repro.sim import CheckFreqStrategy
+        workload = Workload.create("gpt2_large", A100_CLUSTER, rho=0.01)
+        result = TrainingSim(workload, CheckFreqStrategy(every=1)).run(50)
+        assert result.total_time == pytest.approx(
+            result.compute_time + result.stall_time)
+        assert result.stall_time == pytest.approx(
+            sum(result.stalls_by_cause.values()))
+
+    def test_bytes_accounting(self):
+        from repro.sim import LowDiffStrategy
+        workload = Workload.create("gpt2_small", A100_CLUSTER, rho=0.01)
+        result = TrainingSim(workload, LowDiffStrategy(full_every=50,
+                                                       batch_size=2)).run(100)
+        assert result.bytes_to_storage > 0
+        assert result.bytes_over_pcie > 0
+        assert result.checkpoint_counts["diff"] == 100
+
+    def test_invalid_iterations(self):
+        workload = Workload.create("gpt2_small", A100_CLUSTER, rho=0.01)
+        with pytest.raises(ValueError):
+            TrainingSim(workload, NoCheckpoint()).run(0)
+
+    def test_cost_model_helpers(self):
+        cost = CostModel()
+        assert cost.compress_time(1e9) == pytest.approx(1e9 * cost.compress_seconds_per_element)
+        assert cost.serialize_time(1e9) == pytest.approx(1e9 * cost.serialize_seconds_per_byte)
+
+
+class TestReporting:
+    def test_resource_utilization_in_unit_interval(self):
+        from repro.sim import LowDiffStrategy
+        workload = Workload.create("gpt2_large", A100_CLUSTER, rho=0.01)
+        result = TrainingSim(workload, LowDiffStrategy(full_every=100,
+                                                       batch_size=2)).run(100)
+        assert set(result.resource_utilization) == {"pcie", "ssd", "network",
+                                                    "cpu"}
+        for value in result.resource_utilization.values():
+            assert 0.0 <= value <= 1.0
+        # LowDiff is storage-bound: the SSD leads the utilization table.
+        util = result.resource_utilization
+        assert util["ssd"] > util["pcie"]
+
+    def test_summarize_renders(self):
+        from repro.sim import LowDiffStrategy, summarize
+        workload = Workload.create("gpt2_small", A100_CLUSTER, rho=0.01)
+        result = TrainingSim(workload, LowDiffStrategy(full_every=50,
+                                                       batch_size=2)).run(100)
+        text = summarize(result, "test-run")
+        assert "test-run" in text
+        assert "channel utilization" in text
+        assert "checkpoint overhead" in text
+        assert "diff=100" in text

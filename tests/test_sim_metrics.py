@@ -1,0 +1,142 @@
+"""Tests for failure schedules and wasted-time/effective-ratio metrics."""
+
+import pytest
+
+from repro.sim import (
+    FailureSchedule,
+    LowDiffStrategy,
+    NoCheckpoint,
+    TrainingSim,
+    Workload,
+    exponential_mtbf_schedule,
+    fixed_mtbf_schedule,
+    run_with_failures,
+    wasted_time,
+)
+from repro.sim.cluster import A100_CLUSTER
+from repro.sim.failures import FailureEvent
+from repro.utils.rng import Rng
+
+
+def steady_state(strategy=None, model="gpt2_small"):
+    workload = Workload.create(model, A100_CLUSTER, rho=0.01)
+    strategy = strategy or LowDiffStrategy(full_every=20, batch_size=2)
+    result = TrainingSim(workload, strategy).run(200)
+    return result, strategy
+
+
+class TestFailureSchedules:
+    def test_fixed_schedule_spacing(self):
+        schedule = fixed_mtbf_schedule(100.0, 1000.0)
+        times = [e.time_s for e in schedule.events]
+        assert times == [100.0 * k for k in range(1, 10)]
+        assert schedule.count == 9
+
+    def test_fixed_schedule_excludes_horizon(self):
+        schedule = fixed_mtbf_schedule(500.0, 1000.0)
+        assert schedule.count == 1
+
+    def test_exponential_schedule_mean_gap(self):
+        schedule = exponential_mtbf_schedule(100.0, 100_000.0, Rng(0))
+        gaps = []
+        last = 0.0
+        for event in schedule.events:
+            gaps.append(event.time_s - last)
+            last = event.time_s
+        mean_gap = sum(gaps) / len(gaps)
+        assert 80 < mean_gap < 125
+
+    def test_software_fraction(self):
+        schedule = exponential_mtbf_schedule(50.0, 50_000.0, Rng(1),
+                                             software_fraction=0.7)
+        kinds = schedule.kinds()
+        total = kinds["software"] + kinds["hardware"]
+        assert 0.55 < kinds["software"] / total < 0.85
+
+    def test_non_monotonic_events_rejected(self):
+        with pytest.raises(ValueError):
+            FailureSchedule(horizon_s=10.0, events=(
+                FailureEvent(5.0, "hardware"), FailureEvent(3.0, "hardware"),
+            ))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FailureSchedule(horizon_s=10.0,
+                            events=(FailureEvent(5.0, "cosmic-ray"),))
+
+    def test_invalid_mtbf(self):
+        with pytest.raises(ValueError):
+            fixed_mtbf_schedule(0.0, 100.0)
+
+
+class TestRunWithFailures:
+    def test_no_failures_means_only_overhead(self):
+        steady, strategy = steady_state()
+        schedule = FailureSchedule(horizon_s=3600.0, events=())
+        metrics = run_with_failures(steady, strategy, schedule)
+        assert metrics.num_failures == 0
+        assert metrics.redo_time_s == 0.0
+        assert metrics.recovery_time_s == 0.0
+        assert metrics.wasted_time_s == pytest.approx(metrics.overhead_time_s)
+        assert 0.9 < metrics.effective_ratio <= 1.0
+
+    def test_accounting_identity(self):
+        steady, strategy = steady_state()
+        schedule = fixed_mtbf_schedule(600.0, 3600.0)
+        metrics = run_with_failures(steady, strategy, schedule,
+                                    restart_overhead_s=30.0)
+        assert metrics.wasted_time_s == pytest.approx(
+            metrics.redo_time_s + metrics.recovery_time_s
+            + metrics.overhead_time_s)
+        assert metrics.productive_time_s <= metrics.horizon_s
+
+    def test_more_failures_more_waste(self):
+        steady, strategy = steady_state()
+        rare = run_with_failures(steady, strategy,
+                                 fixed_mtbf_schedule(1800.0, 7200.0),
+                                 restart_overhead_s=60.0)
+        frequent = run_with_failures(steady, strategy,
+                                     fixed_mtbf_schedule(300.0, 7200.0),
+                                     restart_overhead_s=60.0)
+        assert frequent.wasted_time_s > rare.wasted_time_s
+        assert frequent.effective_ratio < rare.effective_ratio
+
+    def test_no_checkpoint_loses_all_progress(self):
+        steady, strategy = steady_state(NoCheckpoint())
+        schedule = fixed_mtbf_schedule(1800.0, 3600.0)
+        metrics = run_with_failures(steady, strategy, schedule)
+        # The single failure at t=1800 wipes everything before it.
+        assert metrics.redo_time_s == pytest.approx(1800.0)
+
+    def test_restart_overhead_additive(self):
+        steady, strategy = steady_state()
+        schedule = fixed_mtbf_schedule(600.0, 3600.0)
+        without = run_with_failures(steady, strategy, schedule)
+        with_restart = run_with_failures(steady, strategy, schedule,
+                                         restart_overhead_s=120.0)
+        extra = with_restart.recovery_time_s - without.recovery_time_s
+        assert extra == pytest.approx(120.0 * schedule.count)
+
+
+class TestWastedTimeHelper:
+    def test_scales_with_gpus(self):
+        steady, strategy = steady_state()
+        profile = strategy.failure_profile()
+        single = wasted_time(steady, profile, mtbf_s=1800.0,
+                             horizon_s=3600.0, num_gpus=1)
+        cluster = wasted_time(steady, profile, mtbf_s=1800.0,
+                              horizon_s=3600.0, num_gpus=8)
+        assert cluster == pytest.approx(8 * single)
+
+    def test_monotone_in_failure_rate(self):
+        steady, strategy = steady_state()
+        profile = strategy.failure_profile()
+        rare = wasted_time(steady, profile, mtbf_s=7200.0, horizon_s=3600.0)
+        frequent = wasted_time(steady, profile, mtbf_s=600.0, horizon_s=3600.0)
+        assert frequent > rare
+
+    def test_invalid_args(self):
+        steady, strategy = steady_state()
+        with pytest.raises(ValueError):
+            wasted_time(steady, strategy.failure_profile(), mtbf_s=0,
+                        horizon_s=100)

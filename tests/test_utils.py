@@ -1,0 +1,155 @@
+"""Unit tests for repro.utils: rng, units, timers, validation."""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    Rng,
+    Stopwatch,
+    Timer,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_type,
+    derive_seed,
+    format_bytes,
+    format_seconds,
+    parse_bytes,
+    seed_everything,
+)
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a, b = Rng(42), Rng(42)
+        np.testing.assert_array_equal(a.normal(size=10), b.normal(size=10))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(Rng(1).normal(size=10), Rng(2).normal(size=10))
+
+    def test_child_streams_are_stable(self):
+        a = Rng(5).child("worker", 3)
+        b = Rng(5).child("worker", 3)
+        np.testing.assert_array_equal(a.uniform(size=4), b.uniform(size=4))
+
+    def test_child_streams_are_independent(self):
+        parent = Rng(5)
+        first = parent.child("a").normal(size=100)
+        second = parent.child("b").normal(size=100)
+        assert not np.array_equal(first, second)
+
+    def test_child_does_not_consume_parent_stream(self):
+        parent = Rng(9)
+        parent.child("x")
+        after_child = parent.normal(size=5)
+        np.testing.assert_array_equal(after_child, Rng(9).normal(size=5))
+
+    def test_derive_seed_stable_across_calls(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+        assert derive_seed(1, "a", 2) != derive_seed(1, "a", 3)
+
+    def test_integers_bounds(self):
+        values = Rng(0).integers(0, 10, size=1000)
+        assert values.min() >= 0 and values.max() < 10
+
+    def test_seed_everything_reproducible(self):
+        seed_everything(7)
+        first = np.random.rand(3)
+        seed_everything(7)
+        np.testing.assert_array_equal(first, np.random.rand(3))
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20))
+    def test_derive_seed_in_range(self, seed, name):
+        value = derive_seed(seed, name)
+        assert 0 <= value < 2**64
+
+
+class TestUnits:
+    @pytest.mark.parametrize("text,expected", [
+        ("541M", 541_000_000),
+        ("8.7 GB", 8_700_000_000),
+        ("1.3G", 1_300_000_000),
+        ("239MiB", 239 * (1 << 20)),
+        ("100", 100),
+        ("0.5KB", 500),
+    ])
+    def test_parse_bytes(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    def test_parse_bytes_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_bytes("twelve")
+        with pytest.raises(ValueError):
+            parse_bytes("5XB")
+
+    def test_format_bytes(self):
+        assert format_bytes(1_400_000_000) == "1.40 GB"
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(3 * (1 << 20), binary=True) == "3.00 MiB"
+
+    def test_format_negative(self):
+        assert format_bytes(-1000).startswith("-")
+
+    @given(st.integers(min_value=0, max_value=10**13))
+    def test_format_parse_roundtrip_within_rounding(self, n):
+        text = format_bytes(n)
+        parsed = parse_bytes(text)
+        assert abs(parsed - n) <= max(0.01 * n, 1)
+
+    def test_format_seconds(self):
+        assert format_seconds(7200) == "2.00 h"
+        assert format_seconds(90) == "1.50 min"
+        assert format_seconds(1.5) == "1.50 s"
+        assert format_seconds(0.25) == "250.0 ms"
+        assert format_seconds(2e-5) == "20.0 us"
+
+
+class TestTimers:
+    def test_timer_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_stopwatch_accumulates(self):
+        sw = Stopwatch()
+        for _ in range(3):
+            with sw.lap("phase"):
+                time.sleep(0.002)
+        assert sw.counts["phase"] == 3
+        assert sw.laps["phase"] >= 0.005
+        assert sw.mean("phase") == pytest.approx(sw.laps["phase"] / 3)
+        assert sw.total() == pytest.approx(sw.laps["phase"])
+
+    def test_stopwatch_mean_empty(self):
+        assert Stopwatch().mean("nothing") == 0.0
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1.0)
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+        check_positive("x", 0, strict=False)
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+        with pytest.raises(TypeError):
+            check_positive("x", "nan")
+
+    def test_check_in_range(self):
+        check_in_range("x", 0.5, 0, 1)
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 0, 1, inclusive=False)
+
+    def test_check_probability(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.1)
+
+    def test_check_type(self):
+        check_type("x", 3, int)
+        with pytest.raises(TypeError):
+            check_type("x", 3, str)

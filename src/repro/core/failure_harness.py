@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.config import CheckpointConfig
 from repro.core.lowdiff import LowDiffCheckpointer
 from repro.storage.checkpoint_store import CheckpointStore
+from repro.storage.resilience import collect_resilience_stats
 
 
 @dataclass
@@ -33,10 +34,19 @@ class FailureDrillReport:
     reprocessed_iterations: int
     recovery_results: list = field(default_factory=list)
     final_matches_reference: bool | None = None
+    #: Retry/breaker/fallback counters and injected-fault totals collected
+    #: from the backend stack (empty for plain backends).
+    storage_stats: dict = field(default_factory=dict)
+    #: Keys the store quarantined after failed integrity checks.
+    quarantined_keys: list = field(default_factory=list)
 
     @property
     def overhead_iterations(self) -> int:
         return self.total_iterations_executed - self.target_iterations
+
+    @property
+    def corrupt_blobs_detected(self) -> int:
+        return len(self.quarantined_keys)
 
 
 class FailureDrill:
@@ -131,6 +141,10 @@ class FailureDrill:
                 np.array_equal(final[name], reference_state[name])
                 for name in reference_state
             )
+        # Price the storage-layer faults the run absorbed: retries, backoff
+        # time, breaker trips, tier fallbacks, injected chaos, quarantines.
+        report.storage_stats = collect_resilience_stats(self.store.backend)
+        report.quarantined_keys = list(self.store.quarantined)
         return report
 
 

@@ -14,6 +14,13 @@ applying once is exact for linear optimizers (SGD without momentum) and
 for state deltas; for Adam it has gradient-accumulation semantics — the
 same approximation the batched writer already makes, embraced by the
 paper's ``b/2`` lost-work model.
+
+Corruption awareness (ARCHITECTURE.md §6): recovery never trusts a blob
+blindly.  The base full is the *newest verifiable* one — corrupt or
+missing fulls are quarantined and the next older tried; the differential
+chain is replayed only up to the first unreadable record (a mid-chain
+loss truncates, never skips).  Recovery therefore degrades to an older
+bit-exact state instead of crashing or silently loading garbage.
 """
 
 from __future__ import annotations
@@ -25,7 +32,11 @@ from functools import reduce
 from repro.core.differential import StateDelta, apply_state_delta
 from repro.optim.optimizer import Optimizer
 from repro.storage.checkpoint_store import CheckpointStore
+from repro.storage.serializer import CorruptCheckpointError
 from repro.tensor.module import Module
+
+#: Load failures recovery can route around by falling back/truncating.
+_UNREADABLE = (CorruptCheckpointError, FileNotFoundError, KeyError, TypeError)
 
 
 @dataclass
@@ -39,6 +50,8 @@ class RecoveryResult:
     merge_ops: int            # pairwise merge operations performed
     merge_depth: int          # critical-path depth of the merge tree
     apply_ops: int            # optimizer/state applications performed
+    corrupt_fulls_skipped: int = 0   # unverifiable fulls passed over
+    corrupt_diffs_skipped: int = 0   # chain truncations due to bad diffs
 
 
 def merge_tree_depth(count: int) -> int:
@@ -49,13 +62,49 @@ def merge_tree_depth(count: int) -> int:
 
 
 def _load_base(store: CheckpointStore, model: Module, optimizer: Optimizer):
-    record = store.latest_full()
-    if record is None:
+    """Load the newest *verifiable* full checkpoint.
+
+    Walks fulls newest-first; one that is missing or fails its integrity
+    check is quarantined and the next older tried.  Returns
+    ``(step, skipped)``.
+    """
+    fulls = store.fulls()
+    if not fulls:
         raise FileNotFoundError("no full checkpoint available for recovery")
-    model_state, optimizer_state, step = store.load_full(record)
-    model.load_state_dict(model_state)
-    optimizer.load_state_dict(optimizer_state)
-    return step
+    skipped = 0
+    for record in reversed(fulls):
+        try:
+            model_state, optimizer_state, step = store.load_full(record)
+        except _UNREADABLE:
+            store.quarantine(record)
+            skipped += 1
+            continue
+        model.load_state_dict(model_state)
+        optimizer.load_state_dict(optimizer_state)
+        return step, skipped
+    raise CorruptCheckpointError(
+        f"no verifiable full checkpoint: all {len(fulls)} candidates failed "
+        "integrity checks"
+    )
+
+
+def _load_chain(store: CheckpointStore, full_step: int):
+    """Load the longest intact diff chain after ``full_step``.
+
+    Stops at the first record that is missing or corrupt (quarantining
+    it): replaying past a hole would corrupt the state, so the chain is
+    truncated there.  Returns ``(records, payloads, truncated)``.
+    """
+    records, payloads, truncated = [], [], 0
+    for record in store.diffs_after(full_step):
+        try:
+            payloads.append(store.load_diff(record))
+        except _UNREADABLE:
+            store.quarantine(record)
+            truncated = 1
+            break
+        records.append(record)
+    return records, payloads, truncated
 
 
 def _apply_payload(model: Module, optimizer: Optimizer, payload) -> None:
@@ -72,26 +121,39 @@ def _apply_payload(model: Module, optimizer: Optimizer, payload) -> None:
 
 def serial_recover(store: CheckpointStore, model: Module, optimizer: Optimizer,
                    ) -> RecoveryResult:
-    """Replay differentials one by one — the traditional recovery process."""
-    full_step = _load_base(store, model, optimizer)
-    records = store.diffs_after(full_step)
+    """Replay differentials one by one — the traditional recovery process.
+
+    Streams records lazily; the first unreadable diff truncates the chain
+    (the state is already bit-exact at the last applied step).
+    """
+    full_step, fulls_skipped = _load_base(store, model, optimizer)
+    loaded = 0
     gradients = 0
-    for record in records:
-        payload = store.load_diff(record)
+    truncated = 0
+    for record in store.diffs_after(full_step):
+        try:
+            payload = store.load_diff(record)
+        except _UNREADABLE:
+            store.quarantine(record)
+            truncated = 1
+            break
         _apply_payload(model, optimizer, payload)
         if not isinstance(payload, StateDelta) and record.count > 1:
             # A batched record represents `count` training steps; keep the
             # step counter (and thus LR schedules) aligned with training.
             optimizer.step_count += record.count - 1
         gradients += record.count
+        loaded += 1
     return RecoveryResult(
         step=optimizer.step_count,
         full_step=full_step,
-        diffs_loaded=len(records),
+        diffs_loaded=loaded,
         gradients_replayed=gradients,
         merge_ops=0,
         merge_depth=0,
-        apply_ops=len(records),
+        apply_ops=loaded,
+        corrupt_fulls_skipped=fulls_skipped,
+        corrupt_diffs_skipped=truncated,
     )
 
 
@@ -103,14 +165,15 @@ def parallel_recover(store: CheckpointStore, model: Module, optimizer: Optimizer
     parallel; we execute it level by level and report the critical-path
     depth a parallel executor would see.
     """
-    full_step = _load_base(store, model, optimizer)
-    records = store.diffs_after(full_step)
+    full_step, fulls_skipped = _load_base(store, model, optimizer)
+    records, payloads, truncated = _load_chain(store, full_step)
     if not records:
         return RecoveryResult(
             step=optimizer.step_count, full_step=full_step, diffs_loaded=0,
             gradients_replayed=0, merge_ops=0, merge_depth=0, apply_ops=0,
+            corrupt_fulls_skipped=fulls_skipped,
+            corrupt_diffs_skipped=truncated,
         )
-    payloads = [store.load_diff(record) for record in records]
     gradients = sum(record.count for record in records)
     merge_ops = 0
     depth = 0
@@ -140,6 +203,8 @@ def parallel_recover(store: CheckpointStore, model: Module, optimizer: Optimizer
         merge_ops=merge_ops,
         merge_depth=depth,
         apply_ops=1,
+        corrupt_fulls_skipped=fulls_skipped,
+        corrupt_diffs_skipped=truncated,
     )
 
 

@@ -21,6 +21,7 @@ from repro.sim.engine import Resource, TrainingSim, SimResult
 from repro.sim.report import summarize
 from repro.sim.failures import (
     FailureSchedule,
+    StorageFaultModel,
     fixed_mtbf_schedule,
     exponential_mtbf_schedule,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "SimResult",
     "summarize",
     "FailureSchedule",
+    "StorageFaultModel",
     "fixed_mtbf_schedule",
     "exponential_mtbf_schedule",
     "wasted_time",

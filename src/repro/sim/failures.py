@@ -1,9 +1,13 @@
-"""Failure injection (Exps. 3, 9, 10).
+"""Failure injection (Exps. 3, 9, 10) and storage-fault pricing.
 
 The paper simulates failures "adhering to a fixed MTBF"; we provide that
 deterministic schedule plus an exponential (Poisson-process) variant, and
 a software/hardware kind assignment for the LowDiff+ two-tier recovery
-experiments.
+experiments.  :class:`StorageFaultModel` additionally prices *persist-time*
+faults — transient write errors absorbed by the retry/backoff layer
+(``repro.storage.resilience``) — so the wasted-time accounting sees the
+extra SSD occupancy and backoff a flaky tier costs, not just whole-node
+crashes.
 """
 
 from __future__ import annotations
@@ -46,6 +50,57 @@ class FailureSchedule:
         for event in self.events:
             out[event.kind] += 1
         return out
+
+
+@dataclass(frozen=True)
+class StorageFaultModel:
+    """Expected cost of transient persist faults under bounded retries.
+
+    Mirrors :class:`repro.storage.resilience.RetryPolicy`: each write
+    attempt fails independently with ``write_fail_prob``; up to
+    ``max_attempts`` attempts are made, with mean backoff
+    ``retry_backoff_s`` between consecutive attempts.
+    """
+
+    write_fail_prob: float = 0.0
+    max_attempts: int = 3
+    retry_backoff_s: float = 0.05
+
+    def __post_init__(self):
+        if not 0.0 <= self.write_fail_prob < 1.0:
+            raise ValueError(
+                f"write_fail_prob must be in [0,1), got {self.write_fail_prob}")
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        check_positive("retry_backoff_s", self.retry_backoff_s, strict=False)
+
+    def expected_attempts(self) -> float:
+        """E[attempts per persist]: truncated-geometric mean.
+
+        The k-th attempt happens iff the first k-1 all failed, so
+        ``E = sum_{k=0}^{A-1} p^k`` — the factor by which persist channel
+        occupancy expands.
+        """
+        p = self.write_fail_prob
+        return sum(p ** k for k in range(self.max_attempts))
+
+    def expected_retries(self) -> float:
+        return self.expected_attempts() - 1.0
+
+    def expected_backoff_s(self) -> float:
+        """Mean backoff time added to one persist operation."""
+        return self.expected_retries() * self.retry_backoff_s
+
+    def permanent_failure_prob(self) -> float:
+        """Probability one persist exhausts its retry budget (degrades to a
+        fallback tier, or is lost without one)."""
+        return self.write_fail_prob ** self.max_attempts
+
+    def persist_overhead_s(self, persist_time_s: float) -> float:
+        """Expected *extra* time one persist costs under this fault model."""
+        return (persist_time_s * self.expected_retries()
+                + self.expected_backoff_s())
 
 
 def fixed_mtbf_schedule(mtbf_s: float, horizon_s: float,

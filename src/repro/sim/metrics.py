@@ -29,6 +29,10 @@ class FailureRunMetrics:
     recovery_time_s: float        # checkpoint loads/merges/transfers
     overhead_time_s: float        # steady-state checkpointing overhead
     wasted_time_s: float          # redo + recovery + overhead
+    #: Persist-channel time spent on storage-fault retries/backoff during
+    #: the steady-state run (already folded into the strategy's stalls and
+    #: thus ``overhead_time_s``; broken out here for attribution).
+    persist_retry_time_s: float = 0.0
 
     @property
     def effective_ratio(self) -> float:
@@ -105,6 +109,7 @@ def run_with_failures(steady: SimResult, strategy: CheckpointStrategy,
         recovery_time_s=recovery_total,
         overhead_time_s=overhead_total,
         wasted_time_s=wasted,
+        persist_retry_time_s=getattr(strategy, "persist_retry_time_s", 0.0),
     )
 
 

@@ -40,6 +40,12 @@ class CheckpointStrategy:
         self.workload: Workload | None = None
         self._counts: dict[str, int] = {}
         self.remote_storage = False
+        #: Optional :class:`repro.sim.failures.StorageFaultModel`; when set,
+        #: every scheduled persist is expanded by the expected retries and
+        #: backoff a resilient backend would spend on a flaky tier.
+        self.storage_faults = None
+        #: Accumulated extra persist-channel time attributable to retries.
+        self.persist_retry_time_s = 0.0
 
     # Engine wiring ---------------------------------------------------------
     def bind(self, sim) -> None:
@@ -87,9 +93,20 @@ class CheckpointStrategy:
             )
         return self.sim.ssd, workload.persist_time
 
+    def set_storage_faults(self, model) -> "CheckpointStrategy":
+        """Attach a persist-fault model (chainable); ``None`` disables."""
+        self.storage_faults = model
+        return self
+
     def _schedule_persist(self, nbytes: float) -> None:
         resource, duration = self._persist_channel()
-        resource.schedule(self.sim.now, duration(nbytes), nbytes=nbytes)
+        time_s = duration(nbytes)
+        if self.storage_faults is not None:
+            extra = self.storage_faults.persist_overhead_s(time_s)
+            self.persist_retry_time_s += extra
+            time_s += extra
+            self.count("persist_faulted")
+        resource.schedule(self.sim.now, time_s, nbytes=nbytes)
 
     def _snapshot_exposed(self, nbytes: float) -> float:
         """Exposed time of a GPU->CPU snapshot overlapped with training.

@@ -1,12 +1,15 @@
-"""Checkpoint storage: serialization, backends, and the checkpoint store.
+"""Checkpoint storage: serialization, backends, resilience, and the store.
 
-A pickle-free binary container format (JSON manifest + raw array blobs),
-pluggable backends (in-memory, local disk, bandwidth-throttled, fault-
-injecting), and a :class:`CheckpointStore` managing full/differential
-checkpoint series with manifests, retention and garbage collection.
+A pickle-free binary container format (JSON manifest + raw array blobs,
+CRC-framed), pluggable backends (in-memory, local disk, bandwidth-
+throttled, fault-injecting), a resilience layer (retry/backoff, circuit
+breaker, tiered fallback), and a :class:`CheckpointStore` managing
+full/differential checkpoint series with checksummed manifests, retention,
+garbage collection and corruption quarantine.
 """
 
 from repro.storage.serializer import (
+    CorruptCheckpointError,
     pack_tree,
     unpack_tree,
     serialized_size,
@@ -17,6 +20,16 @@ from repro.storage.backends import (
     LocalDiskBackend,
     ThrottledBackend,
     FlakyBackend,
+    ChaosBackend,
+)
+from repro.storage.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ResilientBackend,
+    RetryPolicy,
+    TieredBackend,
+    VirtualClock,
+    collect_resilience_stats,
 )
 from repro.storage.checkpoint_store import (
     CheckpointStore,
@@ -25,6 +38,7 @@ from repro.storage.checkpoint_store import (
 )
 
 __all__ = [
+    "CorruptCheckpointError",
     "pack_tree",
     "unpack_tree",
     "serialized_size",
@@ -33,6 +47,14 @@ __all__ = [
     "LocalDiskBackend",
     "ThrottledBackend",
     "FlakyBackend",
+    "ChaosBackend",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "ResilientBackend",
+    "RetryPolicy",
+    "TieredBackend",
+    "VirtualClock",
+    "collect_resilience_stats",
     "CheckpointStore",
     "FullCheckpointRecord",
     "DiffCheckpointRecord",

@@ -4,7 +4,9 @@
 backs fast tests and the Gemini-style CPU-memory tier; ``ThrottledBackend``
 adds a bandwidth/latency cost model (virtual time, no sleeping) so the
 functional layer can report realistic write times; ``FlakyBackend``
-injects failures for the fault-tolerance tests.
+injects deterministic one-shot failures and ``ChaosBackend`` seeded
+probabilistic faults (transient errors, torn writes, bit flips, latency
+spikes) for the resilience tests.
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ import os
 import tempfile
 import threading
 
+from repro.utils.rng import Rng
 from repro.utils.validation import check_positive
 
 
@@ -39,6 +42,15 @@ class StorageBackend:
 
     def list_keys(self, prefix: str = "") -> list[str]:
         raise NotImplementedError
+
+    def purge_debris(self) -> int:
+        """Delete crash debris (e.g. orphaned ``.tmp`` files); returns count.
+
+        The default store has none; wrapping backends forward to the
+        wrapped store, so ``CheckpointStore.gc`` can call this through any
+        stack of decorators.
+        """
+        return 0
 
     # Public API with accounting --------------------------------------------------
     def write(self, key: str, data: bytes) -> None:
@@ -148,6 +160,24 @@ class LocalDiskBackend(StorageBackend):
                     keys.append(key)
         return sorted(keys)
 
+    def purge_debris(self) -> int:
+        """Delete orphaned ``.tmp`` files left by writes a crash interrupted.
+
+        The atomic write path unlinks its temp file on a clean failure, but
+        a hard kill (power loss, SIGKILL) between ``mkstemp`` and
+        ``os.replace`` strands it; ``CheckpointStore.gc`` sweeps these.
+        """
+        purged = 0
+        for dirpath, _, filenames in os.walk(self.root):
+            for filename in filenames:
+                if filename.endswith(".tmp"):
+                    try:
+                        os.unlink(os.path.join(dirpath, filename))
+                        purged += 1
+                    except FileNotFoundError:  # pragma: no cover - race
+                        pass
+        return purged
+
 
 class ThrottledBackend(StorageBackend):
     """Wrap a backend with a virtual bandwidth/latency cost model.
@@ -188,6 +218,9 @@ class ThrottledBackend(StorageBackend):
     def list_keys(self, prefix: str = "") -> list[str]:
         return self.inner.list_keys(prefix)
 
+    def purge_debris(self) -> int:
+        return self.inner.purge_debris()
+
 
 class FlakyBackend(StorageBackend):
     """Fault injection: fail the N-th write (and optionally reads).
@@ -225,3 +258,116 @@ class FlakyBackend(StorageBackend):
 
     def list_keys(self, prefix: str = "") -> list[str]:
         return self.inner.list_keys(prefix)
+
+    def purge_debris(self) -> int:
+        return self.inner.purge_debris()
+
+
+class ChaosBackend(StorageBackend):
+    """Seeded probabilistic fault injection for resilience drills.
+
+    Generalizes :class:`FlakyBackend` from one-shot deterministic failures
+    to the fault mix real storage exhibits:
+
+    * **transient failures** — a write/read raises ``IOError`` but leaves
+      the store intact (retry succeeds);
+    * **torn writes** — a random prefix of the data lands and the write
+      raises, modelling a non-atomic store dying mid-write (the integrity
+      framing must catch the stub on read);
+    * **bit flips** — the write succeeds but one random bit is corrupted
+      *silently* (only checksums can catch this);
+    * **latency spikes** — the operation succeeds but accrues extra
+      virtual time (no sleeping; feeds retry/backoff tests).
+
+    All draws come from a seeded :class:`~repro.utils.rng.Rng`, so every
+    drill is replayable bit-exactly from its seed.  ``protect_prefixes``
+    exempts keys (e.g. a quarantine area) from injection.
+    """
+
+    def __init__(self, inner: StorageBackend, rng: Rng | int,
+                 write_fail_prob: float = 0.0, read_fail_prob: float = 0.0,
+                 torn_write_prob: float = 0.0, bit_flip_prob: float = 0.0,
+                 latency_spike_prob: float = 0.0, latency_spike_s: float = 0.1,
+                 protect_prefixes: tuple[str, ...] = ()):
+        super().__init__()
+        for name, prob in (("write_fail_prob", write_fail_prob),
+                           ("read_fail_prob", read_fail_prob),
+                           ("torn_write_prob", torn_write_prob),
+                           ("bit_flip_prob", bit_flip_prob),
+                           ("latency_spike_prob", latency_spike_prob)):
+            if not 0.0 <= prob <= 1.0:
+                raise ValueError(f"{name} must be in [0,1], got {prob}")
+        self.inner = inner
+        self.rng = rng if isinstance(rng, Rng) else Rng(int(rng))
+        self.write_fail_prob = write_fail_prob
+        self.read_fail_prob = read_fail_prob
+        self.torn_write_prob = torn_write_prob
+        self.bit_flip_prob = bit_flip_prob
+        self.latency_spike_prob = latency_spike_prob
+        self.latency_spike_s = latency_spike_s
+        self.protect_prefixes = tuple(protect_prefixes)
+        self.virtual_time_s = 0.0
+        self.injected = {"write_fail": 0, "read_fail": 0, "torn_write": 0,
+                         "bit_flip": 0, "latency_spike": 0}
+
+    def _protected(self, key: str) -> bool:
+        return any(key.startswith(p) for p in self.protect_prefixes)
+
+    def _maybe_spike(self) -> None:
+        if self.latency_spike_prob and \
+                float(self.rng.random()) < self.latency_spike_prob:
+            self.virtual_time_s += self.latency_spike_s
+            self.injected["latency_spike"] += 1
+
+    def _flip_one_bit(self, data: bytes) -> bytes:
+        if not data:
+            return data
+        corrupted = bytearray(data)
+        position = int(self.rng.integers(0, len(corrupted)))
+        corrupted[position] ^= 1 << int(self.rng.integers(0, 8))
+        return bytes(corrupted)
+
+    def _write(self, key: str, data: bytes) -> None:
+        if self._protected(key):
+            self.inner.write(key, data)
+            return
+        self._maybe_spike()
+        if self.torn_write_prob and \
+                float(self.rng.random()) < self.torn_write_prob and len(data) > 1:
+            cut = int(self.rng.integers(1, len(data)))
+            self.inner.write(key, data[:cut])
+            self.injected["torn_write"] += 1
+            raise IOError(f"chaos: torn write of {key} ({cut}/{len(data)} bytes)")
+        if self.write_fail_prob and \
+                float(self.rng.random()) < self.write_fail_prob:
+            self.injected["write_fail"] += 1
+            raise IOError(f"chaos: transient write failure for {key}")
+        if self.bit_flip_prob and float(self.rng.random()) < self.bit_flip_prob:
+            data = self._flip_one_bit(data)
+            self.injected["bit_flip"] += 1
+        self.inner.write(key, data)
+
+    def _read(self, key: str) -> bytes:
+        if self._protected(key):
+            return self.inner.read(key)
+        self._maybe_spike()
+        if self.read_fail_prob and float(self.rng.random()) < self.read_fail_prob:
+            self.injected["read_fail"] += 1
+            raise IOError(f"chaos: transient read failure for {key}")
+        return self.inner.read(key)
+
+    def exists(self, key: str) -> bool:
+        return self.inner.exists(key)
+
+    def delete(self, key: str) -> None:
+        self.inner.delete(key)
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        return self.inner.list_keys(prefix)
+
+    def purge_debris(self) -> int:
+        return self.inner.purge_debris()
+
+    def resilience_stats(self) -> dict:
+        """Injected-fault counters (merged into drill reports)."""
+        return {f"chaos_{name}": count for name, count in self.injected.items()}

@@ -9,24 +9,38 @@ Manages the on-storage layout the recovery process reads:
   ``C^D``/``C^B`` of §IV;
 * ``manifest.json`` — the index, updated atomically after each write, so
   a crash between data write and manifest update leaves the previous
-  consistent view (write-ahead of data, commit via manifest).
+  consistent view (write-ahead of data, commit via manifest);
+* ``quarantine/...`` — blobs that failed an integrity check, moved aside
+  (never deleted outright) so a post-mortem can inspect them.
+
+Integrity: every record carries the CRC32 of its serialized bytes and the
+manifest carries a CRC32 of its own body.  Reads are verified against the
+record checksum *and* the container's internal framing; a mismatch raises
+:class:`~repro.storage.serializer.CorruptCheckpointError`.  A corrupt or
+stale manifest is rebuilt from a key listing instead of being trusted
+blindly.
 
 Retention: old fulls and the diffs they anchor can be garbage-collected
-once newer fulls exist.
+once newer fulls exist; ``gc`` also sweeps crash debris (orphaned ``.tmp``
+files, backend keys no manifest references).
 """
 
 from __future__ import annotations
 
 import json
+import re
+import zlib
 from dataclasses import dataclass
-
-import numpy as np
 
 from repro.storage.backends import StorageBackend
 from repro.storage.payload_codec import payload_to_tree, tree_to_payload
-from repro.storage.serializer import pack_tree, unpack_tree
+from repro.storage.serializer import CorruptCheckpointError, pack_tree, unpack_tree
 
 MANIFEST_KEY = "manifest.json"
+QUARANTINE_PREFIX = "quarantine/"
+
+_FULL_KEY_RE = re.compile(r"^full/(\d{10})\.ckpt$")
+_DIFF_KEY_RE = re.compile(r"^diff/(\d{10})_(\d{10})\.ckpt$")
 
 
 @dataclass(frozen=True)
@@ -34,6 +48,7 @@ class FullCheckpointRecord:
     step: int
     key: str
     nbytes: int
+    crc: int = 0  # CRC32 of the serialized bytes; 0 = legacy record, unverified
 
 
 @dataclass(frozen=True)
@@ -43,30 +58,137 @@ class DiffCheckpointRecord:
     key: str
     nbytes: int
     count: int  # number of gradients accumulated into this diff
+    crc: int = 0
 
 
 class CheckpointStore:
-    """Full/differential checkpoint series with a manifest index."""
+    """Full/differential checkpoint series with a checksummed manifest index."""
 
     def __init__(self, backend: StorageBackend):
         self.backend = backend
         self._fulls: list[FullCheckpointRecord] = []
         self._diffs: list[DiffCheckpointRecord] = []
+        #: Keys moved to quarantine over this store's lifetime.
+        self.quarantined: list[str] = []
+        #: True if the manifest had to be rebuilt from a key listing.
+        self.manifest_rebuilt = False
         if backend.exists(MANIFEST_KEY):
-            self._load_manifest()
+            try:
+                self._load_manifest()
+            except (CorruptCheckpointError, ValueError, KeyError, TypeError,
+                    json.JSONDecodeError, UnicodeDecodeError):
+                self._rebuild_manifest_from_keys()
+            else:
+                self._drop_stale_records()
+        elif backend.list_keys("full/") or backend.list_keys("diff/"):
+            # Data without an index (manifest lost to a crash or tier
+            # failure): reconstruct it rather than silently starting over.
+            self._rebuild_manifest_from_keys()
 
     # Manifest ------------------------------------------------------------
+    @staticmethod
+    def _manifest_body(fulls, diffs) -> bytes:
+        return json.dumps(
+            {"fulls": [vars(rec) for rec in fulls],
+             "diffs": [vars(rec) for rec in diffs]},
+            separators=(",", ":"), sort_keys=True,
+        ).encode()
+
     def _load_manifest(self) -> None:
-        manifest = json.loads(self.backend.read(MANIFEST_KEY).decode())
-        self._fulls = [FullCheckpointRecord(**rec) for rec in manifest["fulls"]]
-        self._diffs = [DiffCheckpointRecord(**rec) for rec in manifest["diffs"]]
+        raw = self.backend.read(MANIFEST_KEY)
+        manifest = json.loads(raw.decode())
+        fulls = [FullCheckpointRecord(**rec) for rec in manifest["fulls"]]
+        diffs = [DiffCheckpointRecord(**rec) for rec in manifest["diffs"]]
+        if "crc" in manifest:
+            body = self._manifest_body(fulls, diffs)
+            if zlib.crc32(body) != manifest["crc"]:
+                raise CorruptCheckpointError("manifest failed CRC check")
+        self._fulls = fulls
+        self._diffs = diffs
 
     def _commit_manifest(self) -> None:
-        manifest = {
-            "fulls": [vars(rec) for rec in self._fulls],
-            "diffs": [vars(rec) for rec in self._diffs],
-        }
+        body = self._manifest_body(self._fulls, self._diffs)
+        manifest = json.loads(body.decode())
+        manifest["crc"] = zlib.crc32(body)
         self.backend.write(MANIFEST_KEY, json.dumps(manifest).encode())
+
+    def _drop_stale_records(self) -> None:
+        """Drop manifest entries whose backing key no longer exists.
+
+        A manifest can outlive its data (partial restore, tier loss,
+        manual deletion); trusting such an entry would crash recovery or
+        replay a hole.  Dropping it here means ``diffs_after`` sees the
+        gap and truncates the chain honestly.
+        """
+        fulls = [r for r in self._fulls if self.backend.exists(r.key)]
+        diffs = [r for r in self._diffs if self.backend.exists(r.key)]
+        if len(fulls) != len(self._fulls) or len(diffs) != len(self._diffs):
+            self._fulls, self._diffs = fulls, diffs
+            self._commit_manifest()
+
+    def _rebuild_manifest_from_keys(self) -> None:
+        """Reconstruct the index by scanning and validating actual keys.
+
+        Every blob is read and integrity-checked; corrupt blobs are
+        quarantined rather than re-indexed.  Transient read errors leave
+        the key out of the rebuilt manifest (it can be re-indexed by a
+        later rebuild) without destroying it.
+        """
+        self.manifest_rebuilt = True
+        fulls: list[FullCheckpointRecord] = []
+        diffs: list[DiffCheckpointRecord] = []
+        for key in self.backend.list_keys():
+            full_match = _FULL_KEY_RE.match(key)
+            diff_match = _DIFF_KEY_RE.match(key)
+            if not full_match and not diff_match:
+                continue
+            try:
+                data = self.backend.read(key)
+                tree = unpack_tree(data)
+                if full_match:
+                    fulls.append(FullCheckpointRecord(
+                        step=int(tree["step"]), key=key, nbytes=len(data),
+                        crc=zlib.crc32(data)))
+                else:
+                    diffs.append(DiffCheckpointRecord(
+                        start=int(tree["start"]), end=int(tree["end"]), key=key,
+                        nbytes=len(data), count=int(tree["count"]),
+                        crc=zlib.crc32(data)))
+            except (CorruptCheckpointError, KeyError, TypeError):
+                self._quarantine_key(key)
+            except OSError:
+                continue
+        fulls.sort(key=lambda r: r.step)
+        diffs.sort(key=lambda r: (r.start, r.end))
+        self._fulls, self._diffs = fulls, diffs
+        self._commit_manifest()
+
+    # Quarantine ------------------------------------------------------------
+    def _quarantine_key(self, key: str) -> None:
+        try:
+            self.backend.write(QUARANTINE_PREFIX + key, self.backend.read(key))
+        except OSError:
+            pass  # unreadable or quarantine tier down: removal still proceeds
+        self.backend.delete(key)
+        self.quarantined.append(key)
+
+    def quarantine(self, record: FullCheckpointRecord | DiffCheckpointRecord
+                   ) -> None:
+        """Move a record's blob to quarantine and drop it from the index.
+
+        Called by the recovery path when a blob fails verification; the
+        bytes are preserved under ``quarantine/`` for post-mortems while
+        the record disappears from the replayable series.
+        """
+        self._quarantine_key(record.key)
+        if isinstance(record, FullCheckpointRecord):
+            self._fulls = [r for r in self._fulls if r.key != record.key]
+        else:
+            self._diffs = [r for r in self._diffs if r.key != record.key]
+        try:
+            self._commit_manifest()
+        except OSError:
+            pass  # storage refusing writes must not abort a recovery
 
     # Saving ------------------------------------------------------------------
     def save_full(self, step: int, model_state: dict, optimizer_state: dict,
@@ -84,7 +206,8 @@ class CheckpointStore:
             "extra": extra or {},
         })
         self.backend.write(key, data)
-        record = FullCheckpointRecord(step=int(step), key=key, nbytes=len(data))
+        record = FullCheckpointRecord(step=int(step), key=key, nbytes=len(data),
+                                      crc=zlib.crc32(data))
         self._fulls = [r for r in self._fulls if r.step != step] + [record]
         self._fulls.sort(key=lambda r: r.step)
         self._commit_manifest()
@@ -92,9 +215,24 @@ class CheckpointStore:
 
     def save_diff(self, start: int, end: int, payload, count: int | None = None
                   ) -> DiffCheckpointRecord:
-        """Persist a (batched) differential checkpoint covering steps [start, end]."""
+        """Persist a (batched) differential checkpoint covering steps [start, end].
+
+        A diff whose range overlaps an existing record *without being equal
+        to it* is rejected: the contiguous-chain logic of ``diffs_after``
+        assumes ranges partition the step axis, and an inconsistent
+        overlap (e.g. ``[5,8]`` coexisting with ``[6,7]``) would make the
+        replay chain ambiguous.  Re-writing the exact same range replaces
+        the previous record (the legitimate retry/resume path).
+        """
         if end < start:
             raise ValueError(f"diff range invalid: start={start} end={end}")
+        for existing in self._diffs:
+            if (existing.start, existing.end) != (start, end) \
+                    and start <= existing.end and end >= existing.start:
+                raise ValueError(
+                    f"diff range [{start},{end}] overlaps existing record "
+                    f"[{existing.start},{existing.end}] inconsistently"
+                )
         key = f"diff/{start:010d}_{end:010d}.ckpt"
         data = pack_tree({
             "start": int(start),
@@ -106,6 +244,7 @@ class CheckpointStore:
         record = DiffCheckpointRecord(
             start=int(start), end=int(end), key=key, nbytes=len(data),
             count=int(count if count is not None else end - start + 1),
+            crc=zlib.crc32(data),
         )
         self._diffs = [
             r for r in self._diffs if (r.start, r.end) != (start, end)
@@ -143,21 +282,68 @@ class CheckpointStore:
                 break
         return chain
 
+    def _read_verified(self, record) -> bytes:
+        data = self.backend.read(record.key)
+        if record.crc and zlib.crc32(data) != record.crc:
+            raise CorruptCheckpointError(
+                f"checkpoint {record.key} failed manifest CRC check"
+            )
+        return data
+
     def load_full(self, record: FullCheckpointRecord) -> tuple[dict, dict, int]:
-        tree = unpack_tree(self.backend.read(record.key))
+        tree = unpack_tree(self._read_verified(record))
         return tree["model"], tree["optimizer"], int(tree["step"])
 
     def load_diff(self, record: DiffCheckpointRecord):
-        tree = unpack_tree(self.backend.read(record.key))
+        tree = unpack_tree(self._read_verified(record))
         return tree_to_payload(tree["payload"])
 
+    # Verification -------------------------------------------------------------
+    def verify(self, deep: bool = True, repair: bool = False) -> dict:
+        """Audit every record against storage.
+
+        ``deep=True`` reads each blob and checks CRCs; ``deep=False`` only
+        checks existence.  ``repair=True`` quarantines corrupt blobs and
+        drops missing records from the manifest.  Returns a report dict
+        with ``checked``/``missing``/``corrupt`` entries.
+        """
+        report = {"checked": 0, "missing": [], "corrupt": []}
+        for record in list(self._fulls) + list(self._diffs):
+            report["checked"] += 1
+            if not self.backend.exists(record.key):
+                report["missing"].append(record.key)
+                continue
+            if not deep:
+                continue
+            try:
+                unpack_tree(self._read_verified(record))
+            except FileNotFoundError:
+                report["missing"].append(record.key)
+            except (CorruptCheckpointError, KeyError, TypeError):
+                report["corrupt"].append(record.key)
+        if repair and (report["missing"] or report["corrupt"]):
+            corrupt = set(report["corrupt"])
+            for record in list(self._fulls) + list(self._diffs):
+                if record.key in corrupt:
+                    self.quarantine(record)
+            missing = set(report["missing"])
+            if missing:
+                self._fulls = [r for r in self._fulls if r.key not in missing]
+                self._diffs = [r for r in self._diffs if r.key not in missing]
+                self._commit_manifest()
+        return report
+
     # Retention -----------------------------------------------------------------
-    def gc(self, keep_fulls: int = 2) -> int:
+    def gc(self, keep_fulls: int = 2, purge_unreferenced: bool = True) -> int:
         """Delete fulls beyond the newest ``keep_fulls`` and orphaned diffs.
 
         Returns the number of objects deleted.  Diffs at or before the
         oldest retained full's step are unreachable (recovery always
-        starts from a retained full) and are removed.
+        starts from a retained full) and are removed.  Crash debris is
+        also swept: orphaned ``.tmp`` files and (when
+        ``purge_unreferenced``) ``full/``/``diff/`` keys the manifest does
+        not reference — both are left behind by writes a crash interrupted
+        between data write and manifest commit.
         """
         if keep_fulls < 1:
             raise ValueError(f"keep_fulls must be >= 1, got {keep_fulls}")
@@ -178,6 +364,18 @@ class CheckpointStore:
             self._diffs = keep
         if deleted:
             self._commit_manifest()
+        deleted += self.backend.purge_debris()
+        if purge_unreferenced:
+            referenced = {r.key for r in self._fulls}
+            referenced.update(r.key for r in self._diffs)
+            for key in self.backend.list_keys("full/"):
+                if key not in referenced:
+                    self.backend.delete(key)
+                    deleted += 1
+            for key in self.backend.list_keys("diff/"):
+                if key not in referenced:
+                    self.backend.delete(key)
+                    deleted += 1
         return deleted
 
     # Accounting ---------------------------------------------------------------

@@ -5,7 +5,15 @@ untrusted storage.  This container keeps a JSON manifest describing an
 arbitrary tree of dicts/lists/scalars/strings with NumPy arrays stored as
 raw little-endian blobs after the manifest:
 
-``[MAGIC 8B][manifest_len u64][manifest JSON][blob 0][blob 1]...``
+``[MAGIC 8B][manifest_len u64][total_len u64][manifest_crc u32]``
+``[manifest JSON][blob 0][blob 1]...``
+
+Integrity framing (the first line of defense in the resilience subsystem,
+see ARCHITECTURE.md §6): ``total_len`` detects torn/truncated writes even
+when the surviving prefix still parses, ``manifest_crc`` covers the JSON
+index, and every blob carries its own CRC32 + length in the manifest.  Any
+mismatch raises :class:`CorruptCheckpointError` — storage rot fails loudly
+instead of silently corrupting a recovery.
 
 Arrays round-trip dtype and shape exactly; the sparse/quantized payload
 classes serialize through their constituent arrays.
@@ -19,8 +27,12 @@ import zlib
 
 import numpy as np
 
-MAGIC = b"LOWDIFF1"
-_HEADER = struct.Struct("<8sQ")
+MAGIC = b"LOWDIFF2"
+#: Previous container revision (no total-length/manifest-CRC framing);
+#: still readable so long-lived checkpoint series survive the upgrade.
+LEGACY_MAGIC = b"LOWDIFF1"
+_HEADER = struct.Struct("<8sQQI")
+_LEGACY_HEADER = struct.Struct("<8sQ")
 
 #: dtypes allowed in checkpoints (defensive allow-list for the reader).
 _ALLOWED_DTYPES = {
@@ -29,6 +41,15 @@ _ALLOWED_DTYPES = {
     "uint64", "uint32", "uint16", "uint8",
     "bool",
 }
+
+
+class CorruptCheckpointError(ValueError):
+    """A checkpoint failed an integrity check (magic, length, or CRC).
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught
+    broad decode errors keep working; the recovery path catches this
+    specifically to quarantine the blob and fall back.
+    """
 
 
 def _encode(node, blobs: list[bytes]):
@@ -89,9 +110,9 @@ def _decode(description, blobs: list[memoryview]):
 def pack_tree(tree) -> bytes:
     """Serialize a checkpoint tree to bytes.
 
-    Each blob carries a CRC32 in the manifest, verified on read: a
-    checkpoint that rotted on storage (bit flips, short reads that still
-    parse) fails loudly instead of silently corrupting a recovery.
+    The header frames the payload with its total length and the manifest's
+    CRC32; each blob additionally carries a CRC32 in the manifest, verified
+    on read.
     """
     blobs: list[bytes] = []
     description = _encode(tree, blobs)
@@ -103,45 +124,83 @@ def pack_tree(tree) -> bytes:
         },
         separators=(",", ":"),
     ).encode()
-    parts = [_HEADER.pack(MAGIC, len(manifest)), manifest]
+    total_len = _HEADER.size + len(manifest) + sum(len(b) for b in blobs)
+    parts = [_HEADER.pack(MAGIC, len(manifest), total_len, zlib.crc32(manifest)),
+             manifest]
     parts.extend(blobs)
     return b"".join(parts)
+
+
+def _parse_header(data: bytes):
+    """Return ``(header_size, manifest_len, total_len, manifest_crc)``.
+
+    ``total_len``/``manifest_crc`` are ``None`` for the legacy container.
+    """
+    if len(data) >= _LEGACY_HEADER.size and data[:8] == LEGACY_MAGIC:
+        _, manifest_len = _LEGACY_HEADER.unpack_from(data, 0)
+        return _LEGACY_HEADER.size, manifest_len, None, None
+    if len(data) < _HEADER.size:
+        raise CorruptCheckpointError("truncated checkpoint: missing header")
+    magic, manifest_len, total_len, manifest_crc = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise CorruptCheckpointError(f"bad checkpoint magic {magic!r}")
+    return _HEADER.size, manifest_len, total_len, manifest_crc
 
 
 def unpack_tree(data: bytes, verify: bool = True):
     """Deserialize bytes produced by :func:`pack_tree`.
 
     ``verify=False`` skips CRC verification (e.g. when the backend
-    already authenticated the bytes).
+    already authenticated the bytes); structural framing (magic, lengths)
+    is always enforced.
     """
-    if len(data) < _HEADER.size:
-        raise ValueError("truncated checkpoint: missing header")
-    magic, manifest_len = _HEADER.unpack_from(data, 0)
-    if magic != MAGIC:
-        raise ValueError(f"bad checkpoint magic {magic!r}")
-    manifest_end = _HEADER.size + manifest_len
+    if len(data) < _LEGACY_HEADER.size:
+        raise CorruptCheckpointError("truncated checkpoint: missing header")
+    header_size, manifest_len, total_len, manifest_crc = _parse_header(data)
+    if total_len is not None and total_len != len(data):
+        raise CorruptCheckpointError(
+            f"torn checkpoint: framed length {total_len} != actual {len(data)}"
+        )
+    manifest_end = header_size + manifest_len
     if len(data) < manifest_end:
-        raise ValueError("truncated checkpoint: manifest cut short")
-    manifest = json.loads(data[_HEADER.size:manifest_end].decode())
-    blob_sizes = manifest["blob_sizes"]
-    blob_crcs = manifest.get("blob_crcs")
+        raise CorruptCheckpointError("truncated checkpoint: manifest cut short")
+    manifest_bytes = data[header_size:manifest_end]
+    if verify and manifest_crc is not None:
+        if zlib.crc32(manifest_bytes) != manifest_crc:
+            raise CorruptCheckpointError(
+                "checkpoint corruption: manifest failed CRC check"
+            )
+    try:
+        manifest = json.loads(manifest_bytes.decode())
+        blob_sizes = manifest["blob_sizes"]
+        blob_crcs = manifest.get("blob_crcs")
+    except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError) as err:
+        raise CorruptCheckpointError(f"unreadable checkpoint manifest: {err}") from err
     blobs: list[memoryview] = []
     view = memoryview(data)
     offset = manifest_end
     for index, size in enumerate(blob_sizes):
         if offset + size > len(data):
-            raise ValueError("truncated checkpoint: blob cut short")
+            raise CorruptCheckpointError("truncated checkpoint: blob cut short")
         blob = view[offset:offset + size]
         if verify and blob_crcs is not None:
             if zlib.crc32(blob) != blob_crcs[index]:
-                raise ValueError(
+                raise CorruptCheckpointError(
                     f"checkpoint corruption: blob {index} failed CRC check"
                 )
         blobs.append(blob)
         offset += size
-    return _decode(manifest["root"], blobs)
+    try:
+        return _decode(manifest["root"], blobs)
+    except (KeyError, IndexError, TypeError) as err:
+        raise CorruptCheckpointError(f"malformed checkpoint tree: {err}") from err
 
 
 def serialized_size(tree) -> int:
     """Size in bytes :func:`pack_tree` would produce (without packing blobs twice)."""
     return len(pack_tree(tree))
+
+
+def checksum(data: bytes) -> int:
+    """CRC32 over a whole serialized blob (stored in store manifests)."""
+    return zlib.crc32(data)

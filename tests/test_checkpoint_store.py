@@ -138,3 +138,65 @@ class TestGarbageCollection:
     def test_gc_rejects_zero(self, store):
         with pytest.raises(ValueError):
             store.gc(keep_fulls=0)
+
+    def test_gc_sweeps_tmp_debris(self, rng, tmp_path):
+        backend = LocalDiskBackend(str(tmp_path))
+        store = CheckpointStore(backend)
+        model, opt = full_states(rng)
+        store.save_full(0, model, opt)
+        # A hard kill mid-write strands a temp file the atomic rename
+        # never consumed.
+        debris = tmp_path / "full" / "stranded.tmp"
+        debris.write_bytes(b"torn")
+        store.gc(keep_fulls=2)
+        assert not debris.exists()
+        # The committed checkpoint survives the sweep.
+        assert store.latest_full().step == 0
+
+    def test_gc_deletes_unreferenced_keys(self, store, rng):
+        model, opt = full_states(rng)
+        store.save_full(0, model, opt)
+        store.save_diff(1, 1, payload(rng))
+        # Blobs written but never committed to the manifest (crash between
+        # data write and manifest commit) are storage leaks.
+        store.backend.write("full/0000000099.ckpt", b"uncommitted")
+        store.backend.write("diff/0000000050_0000000050.ckpt", b"uncommitted")
+        deleted = store.gc(keep_fulls=2)
+        assert deleted == 2
+        assert not store.backend.exists("full/0000000099.ckpt")
+        assert not store.backend.exists("diff/0000000050_0000000050.ckpt")
+        assert store.latest_full().step == 0
+        assert len(store.diffs()) == 1
+
+    def test_gc_keeps_unreferenced_when_disabled(self, store, rng):
+        model, opt = full_states(rng)
+        store.save_full(0, model, opt)
+        store.backend.write("full/0000000099.ckpt", b"uncommitted")
+        store.gc(keep_fulls=2, purge_unreferenced=False)
+        assert store.backend.exists("full/0000000099.ckpt")
+
+
+class TestOverlapGuard:
+    def test_inconsistent_overlap_rejected(self, store, rng):
+        store.save_diff(1, 4, payload(rng), count=4)
+        # A partial overlap would leave two records claiming step 3.
+        with pytest.raises(ValueError, match="overlap"):
+            store.save_diff(3, 3, payload(rng))
+        with pytest.raises(ValueError, match="overlap"):
+            store.save_diff(3, 6, payload(rng), count=4)
+        with pytest.raises(ValueError, match="overlap"):
+            store.save_diff(0, 1, payload(rng), count=2)
+
+    def test_exact_range_replace_allowed(self, store, rng):
+        store.save_diff(1, 4, payload(rng), count=4)
+        replacement = payload(rng)
+        store.save_diff(1, 4, replacement, count=4)  # recovery re-covers it
+        assert len(store.diffs()) == 1
+        loaded = store.load_diff(store.diffs()[0])
+        np.testing.assert_array_equal(loaded.decompress()["w"],
+                                      replacement.decompress()["w"])
+
+    def test_disjoint_ranges_coexist(self, store, rng):
+        store.save_diff(1, 4, payload(rng), count=4)
+        store.save_diff(5, 8, payload(rng), count=4)
+        assert [(r.start, r.end) for r in store.diffs()] == [(1, 4), (5, 8)]

@@ -131,6 +131,104 @@ class TestSerialRecovery:
         assert result.step == 2
 
 
+class TestCorruptionFallback:
+    """Recovery under a stale or partially corrupt checkpoint series."""
+
+    def train_with_snapshots(self, store, model, optimizer, rng, steps=6):
+        """Full at 0 + one diff per step; snapshot model state after each."""
+        compressor = TopKCompressor(0.5)
+        store.save_full(0, model.state_dict(), optimizer.state_dict())
+        snapshots = {0: model.state_dict()}
+        for step in range(1, steps + 1):
+            grads = {name: rng.child("g", step, name).normal(size=p.shape)
+                     for name, p in model.named_parameters()}
+            payload = compressor.compress(grads)
+            optimizer.step_with(payload.decompress())
+            store.save_diff(step, step, payload)
+            snapshots[step] = model.state_dict()
+        return snapshots
+
+    def test_stale_manifest_falls_back_bit_exactly(self, rng):
+        """The manifest references a full whose blob is gone: a reopened
+        store drops the stale record and recovery lands bit-exactly on the
+        previous intact full + diff chain."""
+        backend = InMemoryBackend()
+        store = CheckpointStore(backend)
+        model, optimizer = fresh_model_opt()
+        compressor = TopKCompressor(0.5)
+        store.save_full(0, model.state_dict(), optimizer.state_dict())
+        snapshots = {}
+        for step in range(1, 7):
+            grads = {name: rng.child("g", step, name).normal(size=p.shape)
+                     for name, p in model.named_parameters()}
+            payload = compressor.compress(grads)
+            optimizer.step_with(payload.decompress())
+            store.save_diff(step, step, payload)
+            if step == 4:
+                store.save_full(4, model.state_dict(), optimizer.state_dict())
+            snapshots[step] = model.state_dict()
+        # The newest full's blob vanishes (lost volume, eager cleanup) but
+        # the manifest still references it.
+        newest = store.latest_full()
+        assert newest.step == 4
+        backend.delete(newest.key)
+        reopened = CheckpointStore(backend)
+        assert reopened.latest_full().step == 0  # stale record dropped
+        target_model, target_opt = fresh_model_opt(seed=9)
+        result = serial_recover(reopened, target_model, target_opt)
+        assert result.full_step == 0
+        assert result.step == 6
+        assert_states_equal(target_model.state_dict(), snapshots[6])
+
+    def test_corrupt_mid_chain_diff_truncates_never_skips(self, rng):
+        """A corrupt diff mid-chain ends the replay there: the recovered
+        state is exactly the pre-gap state, not a splice across the gap."""
+        store = CheckpointStore(InMemoryBackend())
+        model, optimizer = fresh_model_opt()
+        snapshots = self.train_with_snapshots(store, model, optimizer, rng)
+        bad = next(r for r in store.diffs() if r.start == 4)
+        raw = bytearray(store.backend.read(bad.key))
+        raw[len(raw) // 2] ^= 0xFF
+        store.backend.write(bad.key, bytes(raw))
+        target_model, target_opt = fresh_model_opt(seed=9)
+        result = serial_recover(store, target_model, target_opt)
+        assert result.step == 3
+        assert result.diffs_loaded == 3
+        assert result.corrupt_diffs_skipped == 1
+        assert bad.key in store.quarantined
+        # Bit-exact with the state just before the corrupt record — diffs
+        # 5 and 6 were intact but unreachable across the gap.
+        assert_states_equal(target_model.state_dict(), snapshots[3])
+        assert target_opt.step_count == 3
+
+    def test_deleted_mid_chain_diff_truncates_never_skips(self, rng):
+        store = CheckpointStore(InMemoryBackend())
+        model, optimizer = fresh_model_opt()
+        snapshots = self.train_with_snapshots(store, model, optimizer, rng)
+        gone = next(r for r in store.diffs() if r.start == 4)
+        store.backend.delete(gone.key)
+        reopened = CheckpointStore(store.backend)
+        chain = reopened.diffs_after(0)
+        assert [(r.start, r.end) for r in chain] == [(1, 1), (2, 2), (3, 3)]
+        target_model, target_opt = fresh_model_opt(seed=9)
+        result = serial_recover(reopened, target_model, target_opt)
+        assert result.step == 3
+        assert_states_equal(target_model.state_dict(), snapshots[3])
+
+    def test_parallel_recovery_truncates_on_corruption(self, rng):
+        store = CheckpointStore(InMemoryBackend())
+        model, optimizer = fresh_model_opt(SGD, lr=0.05)
+        snapshots = self.train_with_snapshots(store, model, optimizer, rng)
+        bad = next(r for r in store.diffs() if r.start == 5)
+        store.backend.write(bad.key, b"\x00" * 16)
+        target_model, target_opt = fresh_model_opt(SGD, seed=9, lr=0.05)
+        result = parallel_recover(store, target_model, target_opt)
+        assert result.step == 4
+        assert result.corrupt_diffs_skipped == 1
+        assert_states_equal(target_model.state_dict(), snapshots[4],
+                            exact=False, atol=1e-5)
+
+
 class TestParallelRecovery:
     def test_exact_for_sgd(self, rng):
         """SGD without momentum is linear: tree-merged recovery is exact."""

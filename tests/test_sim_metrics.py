@@ -6,6 +6,7 @@ from repro.sim import (
     FailureSchedule,
     LowDiffStrategy,
     NoCheckpoint,
+    StorageFaultModel,
     TrainingSim,
     Workload,
     exponential_mtbf_schedule,
@@ -116,6 +117,81 @@ class TestRunWithFailures:
                                          restart_overhead_s=120.0)
         extra = with_restart.recovery_time_s - without.recovery_time_s
         assert extra == pytest.approx(120.0 * schedule.count)
+
+
+class TestStorageFaultModel:
+    def test_expected_attempts_truncated_geometric(self):
+        model = StorageFaultModel(write_fail_prob=0.5, max_attempts=3)
+        # E = 1 + p + p^2
+        assert model.expected_attempts() == pytest.approx(1.75)
+        assert model.expected_retries() == pytest.approx(0.75)
+        assert model.permanent_failure_prob() == pytest.approx(0.125)
+
+    def test_fault_free_model_is_identity(self):
+        model = StorageFaultModel(write_fail_prob=0.0, max_attempts=5)
+        assert model.expected_attempts() == 1.0
+        assert model.persist_overhead_s(10.0) == 0.0
+        assert model.permanent_failure_prob() == 0.0
+
+    def test_overhead_combines_retries_and_backoff(self):
+        model = StorageFaultModel(write_fail_prob=0.2, max_attempts=2,
+                                  retry_backoff_s=0.5)
+        # One retry with probability p: extra time p*(persist + backoff).
+        assert model.persist_overhead_s(3.0) == pytest.approx(0.2 * 3.5)
+
+    def test_single_attempt_never_retries(self):
+        model = StorageFaultModel(write_fail_prob=0.9, max_attempts=1)
+        assert model.expected_retries() == 0.0
+        assert model.permanent_failure_prob() == pytest.approx(0.9)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            StorageFaultModel(write_fail_prob=1.0)
+        with pytest.raises(ValueError):
+            StorageFaultModel(write_fail_prob=-0.1)
+        with pytest.raises(ValueError):
+            StorageFaultModel(max_attempts=0)
+
+    def test_strategy_prices_persist_retries(self):
+        """A flaky persist tier inflates the simulated run and the extra
+        time is attributed to persist_retry_time_s."""
+        workload = Workload.create("gpt2_small", A100_CLUSTER, rho=0.01)
+        baseline = TrainingSim(
+            workload, LowDiffStrategy(full_every=20, batch_size=2)).run(200)
+        faulty_strategy = LowDiffStrategy(full_every=20, batch_size=2) \
+            .set_storage_faults(StorageFaultModel(write_fail_prob=0.3,
+                                                  max_attempts=4,
+                                                  retry_backoff_s=0.05))
+        faulty = TrainingSim(workload, faulty_strategy).run(200)
+        assert faulty_strategy.persist_retry_time_s > 0.0
+        assert faulty.checkpoint_counts["persist_faulted"] > 0
+        assert faulty.total_time >= baseline.total_time
+
+    def test_wasted_time_accounts_persist_retries(self):
+        workload = Workload.create("gpt2_small", A100_CLUSTER, rho=0.01)
+        strategy = LowDiffStrategy(full_every=20, batch_size=2) \
+            .set_storage_faults(StorageFaultModel(write_fail_prob=0.3,
+                                                  max_attempts=4))
+        steady = TrainingSim(workload, strategy).run(200)
+        metrics = run_with_failures(steady, strategy,
+                                    fixed_mtbf_schedule(600.0, 3600.0))
+        assert metrics.persist_retry_time_s == pytest.approx(
+            strategy.persist_retry_time_s)
+        assert metrics.persist_retry_time_s > 0.0
+
+    def test_worse_tier_wastes_more(self):
+        workload = Workload.create("gpt2_small", A100_CLUSTER, rho=0.01)
+        schedule = fixed_mtbf_schedule(600.0, 3600.0)
+        results = []
+        for p in (0.0, 0.4):
+            strategy = LowDiffStrategy(full_every=20, batch_size=2) \
+                .set_storage_faults(StorageFaultModel(write_fail_prob=p,
+                                                      max_attempts=4,
+                                                      retry_backoff_s=0.1))
+            steady = TrainingSim(workload, strategy).run(200)
+            results.append(run_with_failures(steady, strategy, schedule))
+        clean, flaky = results
+        assert flaky.persist_retry_time_s > clean.persist_retry_time_s == 0.0
 
 
 class TestWastedTimeHelper:

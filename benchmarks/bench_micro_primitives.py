@@ -7,9 +7,10 @@ import numpy as np
 import pytest
 
 from repro.compression import TopKCompressor
+from repro.compression.sparse import SparseGradient
 from repro.compression.topk import topk_indices
 from repro.core.reusing_queue import ReusingQueue
-from repro.storage.serializer import pack_tree, unpack_tree
+from repro.storage.serializer import pack_tree, pack_tree_into, unpack_tree
 from repro.utils.rng import Rng
 
 N = 200_000
@@ -82,3 +83,34 @@ def test_serializer_unpack(benchmark, big_gradient):
     data = pack_tree({"model": big_gradient, "step": 1})
     tree = benchmark(unpack_tree, data)
     assert tree["step"] == 1
+
+
+def test_serializer_pack_into_pooled(benchmark, big_gradient):
+    """Zero-copy pack into a reused buffer: the async engine's hot path.
+    After warm-up the call allocates nothing — ndarray views are memcpy'd
+    straight into the pooled bytearray."""
+    tree = {"model": big_gradient, "step": 1}
+    buffer = bytearray()
+    reference = pack_tree(tree)
+
+    def pack():
+        view, _ = pack_tree_into(tree, buffer)
+        view.release()
+        return len(reference)
+
+    size = benchmark(pack)
+    view, _ = pack_tree_into(tree, buffer)
+    assert bytes(view) == reference  # byte-identical to the copying path
+    view.release()
+    assert size == len(reference)
+
+
+def test_sparse_merge_many_kway(benchmark, big_gradient):
+    """Single-pass k-way union-add vs folding pairwise ``add`` calls —
+    the recovery merge primitive at its widest."""
+    compressor = TopKCompressor(0.01)
+    rng = Rng(2)
+    payloads = [compressor.compress({"w": rng.child(i).normal(size=(N,))})
+                for i in range(8)]
+    merged = benchmark(SparseGradient.merge_many, payloads)
+    assert merged.num_selected >= payloads[0].num_selected

@@ -83,22 +83,43 @@ class SparseGradient:
         return dense
 
     def add(self, other: "SparseGradient") -> "SparseGradient":
-        """Union-merge: indices united, overlapping values summed."""
+        """Union-merge: indices united, overlapping values summed.
+
+        Vectorized over the *whole parameter space*: every tensor's
+        indices are lifted into one global int64 index space (per-tensor
+        offsets), so a merge is a single ``np.unique`` + ``np.bincount``
+        regardless of how many tensors the model has — no per-tensor
+        Python loop doing its own concatenate/unique.  The heavy kernels
+        release the GIL, which is what makes the threaded recovery merge
+        tree actually parallel.  Summation order per coordinate matches
+        the previous per-tensor ``np.add.at`` implementation bit-for-bit
+        (both accumulate in order of appearance, self before other).
+        """
         if self.shapes != other.shapes:
             raise KeyError("cannot add SparseGradients over different parameter spaces")
-        entries = {}
-        for name in self.entries:
-            idx_a, val_a = self.entries[name]
-            idx_b, val_b = other.entries[name]
-            merged_idx = np.concatenate([idx_a, idx_b])
-            merged_val = np.concatenate(
-                [val_a.astype(np.float64), val_b.astype(np.float64)]
-            )
-            unique_idx, inverse = np.unique(merged_idx, return_inverse=True)
-            summed = np.zeros(unique_idx.shape[0])
-            np.add.at(summed, inverse, merged_val)
-            entries[name] = (unique_idx.astype(INDEX_DTYPE), summed.astype(VALUE_DTYPE))
-        return SparseGradient(entries, self.shapes)
+        return _union_add([self, other])
+
+    @classmethod
+    def merge_many(cls, payloads: list["SparseGradient"]) -> "SparseGradient":
+        """Single-pass k-way union-add over ``payloads``.
+
+        One global ``unique``/``bincount`` over all operands at once.
+        Accumulates in float64 throughout and rounds to the fp32 wire
+        format exactly once at the end, whereas a pairwise merge tree
+        rounds at every level — so for k > 2 the result can differ from
+        folded ``add`` calls in the last fp32 bit (it is the *more*
+        accurate of the two).
+        """
+        payloads = list(payloads)
+        if not payloads:
+            raise ValueError("nothing to merge")
+        for payload in payloads[1:]:
+            if payload.shapes != payloads[0].shapes:
+                raise KeyError(
+                    "cannot merge SparseGradients over different parameter spaces")
+        if len(payloads) == 1:
+            return payloads[0].copy()
+        return _union_add(payloads)
 
     def scale(self, factor: float) -> "SparseGradient":
         return SparseGradient(
@@ -153,3 +174,49 @@ class SparseGradient:
             f"SparseGradient(tensors={len(self.entries)}, "
             f"selected={self.num_selected}/{self.num_elements})"
         )
+
+
+def _union_add(payloads: list["SparseGradient"]) -> "SparseGradient":
+    """Vectorized union-add kernel shared by ``add`` and ``merge_many``.
+
+    Lifts every tensor's indices into one global int64 index space via
+    per-tensor offsets, merges with a single ``np.unique`` +
+    ``np.bincount(inverse, weights)`` (which accumulates in input order,
+    matching ``np.add.at`` bit-for-bit, and releases the GIL), then splits
+    the sorted global result back per tensor with ``searchsorted``.
+    """
+    first = payloads[0]
+    names = list(first.entries)
+    shapes = first.shapes
+    offsets: dict[str, int] = {}
+    total = 0
+    for name in names:
+        shape = shapes[name]
+        offsets[name] = total
+        total += int(np.prod(shape)) if shape else 1
+    index_parts: list[np.ndarray] = []
+    value_parts: list[np.ndarray] = []
+    for payload in payloads:
+        for name in names:
+            indices, values = payload.entries[name]
+            index_parts.append(indices.astype(np.int64) + offsets[name])
+            value_parts.append(values.astype(np.float64))
+    if index_parts:
+        global_indices = np.concatenate(index_parts)
+        global_values = np.concatenate(value_parts)
+    else:  # zero tensors in the parameter space
+        global_indices = np.array([], dtype=np.int64)
+        global_values = np.array([], dtype=np.float64)
+    unique_indices, inverse = np.unique(global_indices, return_inverse=True)
+    summed = np.bincount(inverse, weights=global_values,
+                         minlength=unique_indices.shape[0])
+    entries: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    bounds = np.searchsorted(
+        unique_indices, [offsets[name] for name in names] + [total])
+    for position, name in enumerate(names):
+        low, high = bounds[position], bounds[position + 1]
+        entries[name] = (
+            (unique_indices[low:high] - offsets[name]).astype(INDEX_DTYPE),
+            summed[low:high].astype(VALUE_DTYPE),
+        )
+    return SparseGradient(entries, shapes)

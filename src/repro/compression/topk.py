@@ -18,20 +18,33 @@ from repro.utils.validation import check_in_range
 
 
 def topk_indices(flat: np.ndarray, k: int) -> np.ndarray:
-    """Indices of the ``k`` largest-|x| entries, deterministic under ties."""
+    """Indices of the ``k`` largest-|x| entries, deterministic under ties.
+
+    Partitions at both ``size-k-1`` and ``size-k`` so one pass yields the
+    top-k candidates *and* the largest excluded magnitude.  When the two
+    pivots differ, no magnitude tie straddles the partition boundary and
+    the candidate set is exactly the historical answer — the post-
+    partition work is a single O(k log k) sort, with no full-array scan.
+    Only when ties straddle the boundary (the excluded maximum equals the
+    inclusion threshold — rare for float gradients) does it fall back to
+    the full scan that picks the lowest-index ties, preserving the
+    deterministic tie order of the original implementation bit-for-bit.
+    """
     size = flat.size
     if k >= size:
         return np.arange(size, dtype=np.int64)
     magnitude = np.abs(flat)
-    # argpartition gives an arbitrary ordering inside each partition; pick
-    # the cut by (magnitude, -index) to break ties deterministically.
-    candidate = np.argpartition(magnitude, size - k)[size - k:]
-    threshold = magnitude[candidate].min()
-    strictly_above = np.flatnonzero(magnitude > threshold)
-    at_threshold = np.flatnonzero(magnitude == threshold)
-    need = k - strictly_above.size
-    chosen = np.concatenate([strictly_above, at_threshold[:need]])
-    return np.sort(chosen)
+    order = np.argpartition(magnitude, [size - k - 1, size - k])
+    threshold = magnitude[order[size - k]]        # min of the candidate set
+    boundary = magnitude[order[size - k - 1]]     # max of the excluded set
+    if boundary == threshold:
+        # Ties straddle the cut: resolve by lowest index over the whole
+        # array, exactly as the original two-scan implementation did.
+        strictly_above = np.flatnonzero(magnitude > threshold)
+        at_threshold = np.flatnonzero(magnitude == threshold)
+        need = k - strictly_above.size
+        return np.sort(np.concatenate([strictly_above, at_threshold[:need]]))
+    return np.sort(order[size - k:])
 
 
 class TopKCompressor(Compressor):

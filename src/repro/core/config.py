@@ -28,16 +28,32 @@ from repro.utils.validation import check_positive
 
 @dataclass(frozen=True)
 class CheckpointConfig:
-    """Integer configuration the checkpointer runs with."""
+    """Integer configuration the checkpointer runs with.
 
-    full_every_iters: int   # FCF: iterations between full checkpoints
-    batch_size: int         # BS: gradients per batched differential write
+    ``async_persist`` switches persistence to the background writer-pool
+    engine (:class:`repro.storage.async_engine.AsyncCheckpointEngine`):
+    serialization and storage I/O leave the training loop, which then only
+    pays for the bounded snapshot handoff plus any backpressure stalls.
+    ``writer_threads``/``queue_depth`` size the pool and the outstanding-
+    record bound; both are ignored in the default synchronous mode, which
+    stays bit-exact-deterministic for tests.
+    """
+
+    full_every_iters: int        # FCF: iterations between full checkpoints
+    batch_size: int              # BS: gradients per batched differential write
+    async_persist: bool = False  # opt-in background persistence engine
+    writer_threads: int = 2      # engine writer pool size
+    queue_depth: int = 8         # engine backpressure bound
 
     def __post_init__(self):
         if self.full_every_iters < 1:
             raise ValueError(f"full_every_iters must be >= 1, got {self.full_every_iters}")
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.writer_threads < 1:
+            raise ValueError(f"writer_threads must be >= 1, got {self.writer_threads}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
 
 
 @dataclass(frozen=True)

@@ -112,11 +112,16 @@ class FailureDrill:
                 checkpointer.finalize()
                 completed = trainer.iteration
                 break
-            # CRASH: the process dies.  Nothing is flushed — whatever sat
-            # in the queue or the writer's in-flight batch is lost (the
-            # b/2 expectation the wasted-time model prices), and the live
-            # replicas are gone with the process.
+            # CRASH: the training process dies.  Nothing is flushed —
+            # whatever sat in the queue or the writer's in-flight batch is
+            # lost (the b/2 expectation the wasted-time model prices), and
+            # the live replicas are gone with the process.  The separate
+            # checkpointing side (async engine threads, if any) outlives
+            # it just long enough to commit work already handed off.
             pending_crashes.pop(0)
+            crash = getattr(checkpointer, "crash", None)
+            if crash is not None:
+                crash()
             del trainer, checkpointer
 
             # A new process starts and recovers from storage.

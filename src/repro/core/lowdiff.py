@@ -30,6 +30,7 @@ from repro.core.recovery import (
     serial_recover,
 )
 from repro.core.reusing_queue import QueueClosed, ReusingQueue
+from repro.storage.async_engine import AsyncCheckpointEngine
 from repro.storage.checkpoint_store import CheckpointStore
 
 
@@ -95,8 +96,23 @@ class LowDiffCheckpointer:
         self.store = store
         self.config = config
         self.queue = ReusingQueue(maxsize=queue_maxsize, copy_mode=not zero_copy)
+        # With async_persist the engine becomes the persistence target for
+        # both full snapshots and the batched writer's diff records; every
+        # record still flows through one FIFO commit order, so the
+        # diff-never-before-its-full invariant holds unchanged.
+        self.engine: AsyncCheckpointEngine | None = None
+        persist_target = store
+        if getattr(config, "async_persist", False):
+            self.engine = AsyncCheckpointEngine(
+                store,
+                num_writers=config.writer_threads,
+                queue_depth=config.queue_depth,
+            )
+            persist_target = self.engine
+        self._persist = persist_target
         self.writer = BatchedGradientWriter(
-            store, batch_size=config.batch_size, offload_to_cpu=offload_to_cpu
+            persist_target, batch_size=config.batch_size,
+            offload_to_cpu=offload_to_cpu
         )
         self.async_mode = bool(async_mode)
         self.full_checkpoints = 0
@@ -128,8 +144,8 @@ class LowDiffCheckpointer:
             model_state=trainer.model_state(),
             optimizer_state=trainer.optimizer_state(),
         )
-        self.store.save_full(snapshot.step, snapshot.model_state,
-                             snapshot.optimizer_state)
+        self._persist.save_full(snapshot.step, snapshot.model_state,
+                                snapshot.optimizer_state)
         self.full_checkpoints += 1
         if resume_from is not None:
             self.queue._last_put_iteration = base_step
@@ -161,7 +177,8 @@ class LowDiffCheckpointer:
     def _process_item(self, step, item) -> None:
         if isinstance(item, FullSnapshot):
             self.writer.flush()
-            self.store.save_full(item.step, item.model_state, item.optimizer_state)
+            self._persist.save_full(item.step, item.model_state,
+                                    item.optimizer_state)
             self.full_checkpoints += 1
         else:
             self.writer.submit(int(step), item)
@@ -182,6 +199,8 @@ class LowDiffCheckpointer:
             self._worker_error = error
 
     def _check_worker(self) -> None:
+        if self.engine is not None:
+            self.engine.raise_if_failed()
         if self._worker_error is not None:
             error, self._worker_error = self._worker_error, None
             raise RuntimeError("checkpointing process failed") from error
@@ -197,6 +216,33 @@ class LowDiffCheckpointer:
             self._check_worker()
         self._drain_available()
         self.writer.flush()
+        if self.engine is not None:
+            self.engine.finalize()
+
+    def crash(self) -> None:
+        """Emulate a training-process death for failure drills.
+
+        The paper runs checkpointing in a *separate* process, so records
+        already handed off (submitted to the engine) still persist, while
+        the reusing queue's contents and the batched writer's partial
+        batch die with the training process.  Draining the engine (rather
+        than aborting it) keeps the persisted series identical to a
+        synchronous run up to the crash point, which is what makes chaos
+        drills bit-exactly replayable in async mode.
+        """
+        self.queue.close()
+        if self._worker is not None:
+            self._worker.join(timeout=30.0)
+        self.writer.discard_pending()
+        if self.engine is not None:
+            self.engine.finalize()
+
+    def abort(self) -> None:
+        """Hard-stop the persistence engine without draining (queued writes
+        are dropped); used when even the checkpointing side is dying."""
+        self.queue.close()
+        if self.engine is not None:
+            self.engine.abort()
 
     # Recovery ----------------------------------------------------------------------
     def recover(self, model, optimizer, parallel: bool = False) -> RecoveryResult:
@@ -207,7 +253,7 @@ class LowDiffCheckpointer:
 
     # Telemetry -----------------------------------------------------------------------
     def stats(self) -> dict:
-        return {
+        out = {
             "full_checkpoints": self.full_checkpoints,
             "diff_writes": self.writer.writes,
             "gradients_submitted": self.writer.gradients_submitted,
@@ -217,3 +263,6 @@ class LowDiffCheckpointer:
             "peak_cpu_buffer_bytes": self.writer.peak_cpu_buffer_bytes,
             "storage_bytes": self.store.storage_bytes(),
         }
+        if self.engine is not None:
+            out["engine"] = self.engine.stats()
+        return out

@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.lowdiff import FullSnapshot, _copy_tree
 from repro.core.recovery import RecoveryResult, serial_recover
 from repro.optim.optimizer import Optimizer
+from repro.storage.async_engine import AsyncCheckpointEngine
 from repro.storage.checkpoint_store import CheckpointStore
 from repro.tensor.module import Module
 
@@ -94,15 +95,29 @@ class LowDiffPlusCheckpointer:
         ``True`` persists from a background thread, skipping a cadence
         tick if the previous persist is still in flight (the paper's
         non-blocking behaviour).  ``False`` persists inline.
+    use_engine:
+        With ``async_persist=True``, persist through the shared
+        :class:`~repro.storage.async_engine.AsyncCheckpointEngine` (writer
+        pool, pooled zero-copy serialization, ordered commits) instead of
+        an ad-hoc thread per persist.  The skip-when-in-flight semantics
+        are preserved: a cadence tick that would hit engine backpressure
+        is skipped and counted in ``persist_skips``.
     """
 
     def __init__(self, store: CheckpointStore, persist_every: int = 10,
-                 async_persist: bool = False):
+                 async_persist: bool = False, use_engine: bool = False,
+                 writer_threads: int = 2, queue_depth: int = 2):
         if persist_every < 1:
             raise ValueError(f"persist_every must be >= 1, got {persist_every}")
+        if use_engine and not async_persist:
+            raise ValueError("use_engine requires async_persist=True")
         self.store = store
         self.persist_every = int(persist_every)
         self.async_persist = bool(async_persist)
+        self.engine: AsyncCheckpointEngine | None = None
+        if use_engine:
+            self.engine = AsyncCheckpointEngine(
+                store, num_writers=writer_threads, queue_depth=queue_depth)
         self.replica: CpuReplica | None = None
         self._trainer = None
         # Per-iteration gradient assembly buffers ("snapshot to CPU").
@@ -173,6 +188,14 @@ class LowDiffPlusCheckpointer:
         self._check_persist_error()
 
     def _persist(self, snapshot: FullSnapshot) -> None:
+        if self.engine is not None:
+            if self.engine.would_block():
+                self.persist_skips += 1  # previous persists still in flight
+                return
+            self.engine.save_full(snapshot.step, snapshot.model_state,
+                                  snapshot.optimizer_state)
+            self.persisted_checkpoints += 1
+            return
         if not self.async_persist:
             self.store.save_full(snapshot.step, snapshot.model_state,
                                  snapshot.optimizer_state)
@@ -197,6 +220,8 @@ class LowDiffPlusCheckpointer:
         self._persist_thread.start()
 
     def _check_persist_error(self) -> None:
+        if self.engine is not None:
+            self.engine.raise_if_failed()
         if self._persist_error is not None:
             error, self._persist_error = self._persist_error, None
             raise RuntimeError("asynchronous persistence failed") from error
@@ -204,6 +229,8 @@ class LowDiffPlusCheckpointer:
     def finalize(self) -> None:
         if self._persist_thread is not None:
             self._persist_thread.join(timeout=30.0)
+        if self.engine is not None:
+            self.engine.finalize()
         self._check_persist_error()
 
     # Recovery (paper §V: software vs hardware failures) ---------------------------
@@ -235,10 +262,13 @@ class LowDiffPlusCheckpointer:
 
     # Telemetry ---------------------------------------------------------------------
     def stats(self) -> dict:
-        return {
+        out = {
             "in_memory_checkpoints": self.in_memory_checkpoints,
             "persisted_checkpoints": self.persisted_checkpoints,
             "persist_skips": self.persist_skips,
             "snapshot_bytes": self.snapshot_bytes,
             "replica_updates": self.replica.updates_applied if self.replica else 0,
         }
+        if self.engine is not None:
+            out["engine"] = self.engine.stats()
+        return out

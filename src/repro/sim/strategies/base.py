@@ -108,6 +108,17 @@ class CheckpointStrategy:
             self.count("persist_faulted")
         resource.schedule(self.sim.now, time_s, nbytes=nbytes)
 
+    @staticmethod
+    def _overlapped_stall(persist_seconds: float, compute_gap_s: float) -> float:
+        """Exposed stall of asynchronous persistence overlapped with compute.
+
+        The measured behaviour of the background writer-pool engine: queued
+        persistence work hides entirely behind the compute gap until the
+        channel is next needed, and only the excess blocks training —
+        ``stall = max(0, persist_time − compute_gap)``.
+        """
+        return max(0.0, persist_seconds - compute_gap_s)
+
     def _snapshot_exposed(self, nbytes: float) -> float:
         """Exposed time of a GPU->CPU snapshot overlapped with training.
 

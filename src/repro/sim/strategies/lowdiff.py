@@ -20,7 +20,8 @@ class LowDiffStrategy(CheckpointStrategy):
 
     def __init__(self, full_every: int = 20, batch_size: int = 2,
                  diff_every: int = 1, zero_copy: bool = True,
-                 backlog_budget_s: float = 2.0, remote_storage: bool = False):
+                 backlog_budget_s: float = 2.0, remote_storage: bool = False,
+                 async_engine: bool = False):
         super().__init__()
         if full_every < 1 or batch_size < 1 or diff_every < 1:
             raise ValueError("checkpoint intervals must be >= 1")
@@ -32,6 +33,12 @@ class LowDiffStrategy(CheckpointStrategy):
         #: Max seconds of queued async work tolerated before backpressure
         #: (models the bounded reusing queue / CPU buffer).
         self.backlog_budget_s = float(backlog_budget_s)
+        #: Price persistence with the measured-overlap model of the
+        #: background writer-pool engine (stall = max(0, backlog − compute
+        #: gap until the channel is next needed)) instead of the fixed
+        #: backlog-budget heuristic.  Off by default so the historical
+        #: pricing stays bit-stable.
+        self.async_engine = bool(async_engine)
         self._in_batch = 0
 
     @classmethod
@@ -60,13 +67,27 @@ class LowDiffStrategy(CheckpointStrategy):
                 self._in_batch = 0
                 self.count("diff_write")
             self.count("diff")
-            # Backpressure only when async channels fall far behind.
             persist_resource, _ = self._persist_channel()
-            for resource, cause in ((sim.pcie, "pcie-backpressure"),
-                                    (persist_resource, "persist-backpressure")):
-                backlog = resource.backlog(sim.now)
-                if backlog > self.backlog_budget_s:
-                    sim.stall(cause, backlog - self.backlog_budget_s)
+            if self.async_engine:
+                # Overlap pricing: queued work on a channel hides behind
+                # the compute gap until that channel is next needed; only
+                # the excess stalls training.
+                for resource, cause, gap_iters in (
+                        (sim.pcie, "pcie-overlap", self.diff_every),
+                        (persist_resource, "persist-overlap",
+                         self.batch_size * self.diff_every)):
+                    stall = self._overlapped_stall(
+                        resource.backlog(sim.now),
+                        gap_iters * workload.iter_time)
+                    if stall > 0.0:
+                        sim.stall(cause, stall)
+            else:
+                # Backpressure only when async channels fall far behind.
+                for resource, cause in ((sim.pcie, "pcie-backpressure"),
+                                        (persist_resource, "persist-backpressure")):
+                    backlog = resource.backlog(sim.now)
+                    if backlog > self.backlog_budget_s:
+                        sim.stall(cause, backlog - self.backlog_budget_s)
         if step % self.full_every == 0:
             size = workload.full_checkpoint_bytes
             sim.stall("full-snapshot", self._snapshot_exposed(size))

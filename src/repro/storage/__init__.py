@@ -10,7 +10,10 @@ garbage collection and corruption quarantine.
 
 from repro.storage.serializer import (
     CorruptCheckpointError,
+    crc32_combine,
     pack_tree,
+    pack_tree_into,
+    pack_tree_with_crc,
     unpack_tree,
     serialized_size,
 )
@@ -36,10 +39,20 @@ from repro.storage.checkpoint_store import (
     FullCheckpointRecord,
     DiffCheckpointRecord,
 )
+from repro.storage.async_engine import (
+    AsyncCheckpointEngine,
+    BufferPool,
+    PendingWrite,
+    SnapshotStager,
+    WriteAborted,
+)
 
 __all__ = [
     "CorruptCheckpointError",
+    "crc32_combine",
     "pack_tree",
+    "pack_tree_into",
+    "pack_tree_with_crc",
     "unpack_tree",
     "serialized_size",
     "StorageBackend",
@@ -58,4 +71,9 @@ __all__ = [
     "CheckpointStore",
     "FullCheckpointRecord",
     "DiffCheckpointRecord",
+    "AsyncCheckpointEngine",
+    "BufferPool",
+    "PendingWrite",
+    "SnapshotStager",
+    "WriteAborted",
 ]

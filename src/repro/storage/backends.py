@@ -22,6 +22,12 @@ from repro.utils.validation import check_positive
 class StorageBackend:
     """Abstract key→bytes store with write accounting."""
 
+    #: True when concurrent ``read`` calls are safe *and* acceptable —
+    #: parallel recovery will only overlap reads on backends that opt in.
+    #: Fault-injecting wrappers keep this False so their seeded RNG draws
+    #: stay replayable under a deterministic access order.
+    thread_safe_reads = False
+
     def __init__(self) -> None:
         self.bytes_written = 0
         self.bytes_read = 0
@@ -54,9 +60,17 @@ class StorageBackend:
 
     # Public API with accounting --------------------------------------------------
     def write(self, key: str, data: bytes) -> None:
+        """Write ``data`` (bytes, bytearray or memoryview) under ``key``.
+
+        The buffer is passed through as-is — no defensive copy — so the
+        zero-copy serialization path can hand pooled-buffer views straight
+        to disk.  Backends that retain the data beyond the call (e.g. the
+        in-memory store) must take their own copy; callers must keep the
+        buffer stable until ``write`` returns.
+        """
         if not isinstance(data, (bytes, bytearray, memoryview)):
             raise TypeError(f"backend write expects bytes, got {type(data).__name__}")
-        self._write(key, bytes(data))
+        self._write(key, data)
         self.bytes_written += len(data)
         self.write_count += 1
 
@@ -69,14 +83,18 @@ class StorageBackend:
 class InMemoryBackend(StorageBackend):
     """Dict-backed store; also models a CPU-memory checkpoint tier."""
 
+    thread_safe_reads = True
+
     def __init__(self) -> None:
         super().__init__()
         self._data: dict[str, bytes] = {}
         self._lock = threading.Lock()
 
     def _write(self, key: str, data: bytes) -> None:
+        # Own a copy: the caller may reuse a pooled buffer after we return.
+        owned = data if isinstance(data, bytes) else bytes(data)
         with self._lock:
-            self._data[key] = data
+            self._data[key] = owned
 
     def _read(self, key: str) -> bytes:
         with self._lock:
@@ -108,6 +126,8 @@ class LocalDiskBackend(StorageBackend):
     Atomicity matters: a failure mid-write must never leave a torn
     checkpoint that recovery would then trust.
     """
+
+    thread_safe_reads = True  # independent files; plain pread per key
 
     def __init__(self, root: str):
         super().__init__()

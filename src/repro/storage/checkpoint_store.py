@@ -34,7 +34,11 @@ from dataclasses import dataclass
 
 from repro.storage.backends import StorageBackend
 from repro.storage.payload_codec import payload_to_tree, tree_to_payload
-from repro.storage.serializer import CorruptCheckpointError, pack_tree, unpack_tree
+from repro.storage.serializer import (
+    CorruptCheckpointError,
+    pack_tree_with_crc,
+    unpack_tree,
+)
 
 MANIFEST_KEY = "manifest.json"
 QUARANTINE_PREFIX = "quarantine/"
@@ -191,6 +195,28 @@ class CheckpointStore:
             pass  # storage refusing writes must not abort a recovery
 
     # Saving ------------------------------------------------------------------
+    @staticmethod
+    def full_tree(step: int, model_state: dict, optimizer_state: dict,
+                  extra: dict | None = None) -> dict:
+        """The serializable tree of a full checkpoint (shared with the
+        async engine, whose workers pack it off-thread)."""
+        return {
+            "step": int(step),
+            "model": model_state,
+            "optimizer": optimizer_state,
+            "extra": extra or {},
+        }
+
+    @staticmethod
+    def diff_tree(start: int, end: int, count: int, payload_tree) -> dict:
+        """The serializable tree of a differential record."""
+        return {
+            "start": int(start),
+            "end": int(end),
+            "count": int(count),
+            "payload": payload_tree,
+        }
+
     def save_full(self, step: int, model_state: dict, optimizer_state: dict,
                   extra: dict | None = None) -> FullCheckpointRecord:
         """Persist a full checkpoint ``C^F`` at optimizer step ``step``.
@@ -198,16 +224,23 @@ class CheckpointStore:
         ``step`` means: this state is the result of ``step`` optimizer
         updates; replaying diff ``step+1`` on it advances to ``step+1``.
         """
+        data, crc = pack_tree_with_crc(
+            self.full_tree(step, model_state, optimizer_state, extra))
+        return self.save_full_bytes(step, data, crc)
+
+    def save_full_bytes(self, step: int, data, crc: int
+                        ) -> FullCheckpointRecord:
+        """Persist an already-serialized full checkpoint.
+
+        ``data`` is the packed container (bytes or memoryview) and ``crc``
+        its CRC32, both produced by the serializer's single packing pass —
+        this is the commit stage of the async persistence engine, and the
+        point at which the record becomes visible in the manifest.
+        """
         key = f"full/{step:010d}.ckpt"
-        data = pack_tree({
-            "step": int(step),
-            "model": model_state,
-            "optimizer": optimizer_state,
-            "extra": extra or {},
-        })
         self.backend.write(key, data)
         record = FullCheckpointRecord(step=int(step), key=key, nbytes=len(data),
-                                      crc=zlib.crc32(data))
+                                      crc=crc & 0xFFFFFFFF)
         self._fulls = [r for r in self._fulls if r.step != step] + [record]
         self._fulls.sort(key=lambda r: r.step)
         self._commit_manifest()
@@ -224,6 +257,19 @@ class CheckpointStore:
         replay chain ambiguous.  Re-writing the exact same range replaces
         the previous record (the legitimate retry/resume path).
         """
+        resolved_count = int(count if count is not None else end - start + 1)
+        data, crc = pack_tree_with_crc(
+            self.diff_tree(start, end, resolved_count, payload_to_tree(payload)))
+        return self.save_diff_bytes(start, end, resolved_count, data, crc)
+
+    def save_diff_bytes(self, start: int, end: int, count: int, data, crc: int
+                        ) -> DiffCheckpointRecord:
+        """Persist an already-serialized diff covering ``[start, end]``.
+
+        Commit stage of the async persistence engine; range validation and
+        manifest visibility happen here, after serialization (which may
+        have run on a writer thread).
+        """
         if end < start:
             raise ValueError(f"diff range invalid: start={start} end={end}")
         for existing in self._diffs:
@@ -234,17 +280,10 @@ class CheckpointStore:
                     f"[{existing.start},{existing.end}] inconsistently"
                 )
         key = f"diff/{start:010d}_{end:010d}.ckpt"
-        data = pack_tree({
-            "start": int(start),
-            "end": int(end),
-            "count": int(count if count is not None else end - start + 1),
-            "payload": payload_to_tree(payload),
-        })
         self.backend.write(key, data)
         record = DiffCheckpointRecord(
             start=int(start), end=int(end), key=key, nbytes=len(data),
-            count=int(count if count is not None else end - start + 1),
-            crc=zlib.crc32(data),
+            count=int(count), crc=crc & 0xFFFFFFFF,
         )
         self._diffs = [
             r for r in self._diffs if (r.start, r.end) != (start, end)
@@ -282,21 +321,49 @@ class CheckpointStore:
                 break
         return chain
 
-    def _read_verified(self, record) -> bytes:
-        data = self.backend.read(record.key)
+    def read_raw(self, record) -> bytes:
+        """Fetch a record's raw bytes with no verification.
+
+        Split out so parallel recovery can keep backend reads sequential
+        (backends are not required to be thread-safe, and fault-injecting
+        ones are deterministic only under a fixed read order) while the
+        CPU-bound verify/decode work fans out to threads via
+        :meth:`decode_full`/:meth:`decode_diff`.
+        """
+        return self.backend.read(record.key)
+
+    @staticmethod
+    def _check_crc(record, data) -> None:
         if record.crc and zlib.crc32(data) != record.crc:
             raise CorruptCheckpointError(
                 f"checkpoint {record.key} failed manifest CRC check"
             )
+
+    @classmethod
+    def decode_full(cls, record: FullCheckpointRecord, data
+                    ) -> tuple[dict, dict, int]:
+        """Verify + deserialize raw full-checkpoint bytes (thread-safe)."""
+        cls._check_crc(record, data)
+        tree = unpack_tree(data)
+        return tree["model"], tree["optimizer"], int(tree["step"])
+
+    @classmethod
+    def decode_diff(cls, record: DiffCheckpointRecord, data):
+        """Verify + deserialize raw diff bytes (thread-safe)."""
+        cls._check_crc(record, data)
+        tree = unpack_tree(data)
+        return tree_to_payload(tree["payload"])
+
+    def _read_verified(self, record) -> bytes:
+        data = self.read_raw(record)
+        self._check_crc(record, data)
         return data
 
     def load_full(self, record: FullCheckpointRecord) -> tuple[dict, dict, int]:
-        tree = unpack_tree(self._read_verified(record))
-        return tree["model"], tree["optimizer"], int(tree["step"])
+        return self.decode_full(record, self.read_raw(record))
 
     def load_diff(self, record: DiffCheckpointRecord):
-        tree = unpack_tree(self._read_verified(record))
-        return tree_to_payload(tree["payload"])
+        return self.decode_diff(record, self.read_raw(record))
 
     # Verification -------------------------------------------------------------
     def verify(self, deep: bool = True, repair: bool = False) -> dict:

@@ -15,6 +15,19 @@ index, and every blob carries its own CRC32 + length in the manifest.  Any
 mismatch raises :class:`CorruptCheckpointError` — storage rot fails loudly
 instead of silently corrupting a recovery.
 
+Two write paths share the same wire format:
+
+* :func:`pack_tree` — allocate-and-return ``bytes`` (the simple path);
+* :func:`pack_tree_into` — the zero-copy path the async persistence
+  engine uses: array views are memcpy'd straight into a caller-supplied
+  (pooled) ``bytearray``, with no per-array ``tobytes()`` intermediates
+  and no ``b"".join`` concatenation.
+
+Each blob's CRC32 is computed exactly once; the whole-blob checksum the
+store indexes is derived from the per-blob CRCs with
+:func:`crc32_combine` (zlib's GF(2) length-shift), never by re-walking
+the payload bytes.
+
 Arrays round-trip dtype and shape exactly; the sparse/quantized payload
 classes serialize through their constituent arrays.
 """
@@ -52,14 +65,75 @@ class CorruptCheckpointError(ValueError):
     """
 
 
-def _encode(node, blobs: list[bytes]):
-    """Convert a tree node to its JSON-able description, collecting blobs."""
+# CRC32 combination (zlib's crc32_combine, which the stdlib does not
+# expose).  combine(crcA, crcB, lenB) == crc32(A + B) given crcA=crc32(A)
+# and crcB=crc32(B) — O(log lenB) bit-matrix work instead of re-reading B.
+
+_CRC_POLY = 0xEDB88320
+
+
+def _gf2_matrix_times(matrix: list[int], vector: int) -> int:
+    product = 0
+    index = 0
+    while vector:
+        if vector & 1:
+            product ^= matrix[index]
+        vector >>= 1
+        index += 1
+    return product
+
+
+def _gf2_matrix_square(square: list[int], matrix: list[int]) -> None:
+    for n in range(32):
+        square[n] = _gf2_matrix_times(matrix, matrix[n])
+
+
+def crc32_combine(crc1: int, crc2: int, len2: int) -> int:
+    """CRC32 of the concatenation ``A+B`` from ``crc32(A)``, ``crc32(B)``,
+    ``len(B)`` — without touching the bytes of either part again."""
+    if len2 <= 0:
+        return crc1 & 0xFFFFFFFF
+    even = [0] * 32   # operator for 2^k zero bits
+    odd = [0] * 32
+    # Operator for one zero bit.
+    odd[0] = _CRC_POLY
+    row = 1
+    for n in range(1, 32):
+        odd[n] = row
+        row <<= 1
+    _gf2_matrix_square(even, odd)   # two zero bits
+    _gf2_matrix_square(odd, even)   # four zero bits
+    while True:
+        _gf2_matrix_square(even, odd)
+        if len2 & 1:
+            crc1 = _gf2_matrix_times(even, crc1)
+        len2 >>= 1
+        if not len2:
+            break
+        _gf2_matrix_square(odd, even)
+        if len2 & 1:
+            crc1 = _gf2_matrix_times(odd, crc1)
+        len2 >>= 1
+        if not len2:
+            break
+    return (crc1 ^ crc2) & 0xFFFFFFFF
+
+
+def _as_byte_view(array: np.ndarray) -> memoryview:
+    """A flat byte view over a contiguous array — no copy."""
+    return memoryview(array.reshape(-1)).cast("B")
+
+
+def _encode(node, blobs: list[np.ndarray]):
+    """Convert a tree node to its JSON-able description, collecting blob
+    arrays as contiguous views (copies only when the source is not
+    already contiguous)."""
     if isinstance(node, np.ndarray):
         dtype = node.dtype.name
         if dtype not in _ALLOWED_DTYPES:
             raise TypeError(f"unsupported array dtype in checkpoint: {dtype}")
         blob_index = len(blobs)
-        blobs.append(np.ascontiguousarray(node).tobytes())
+        blobs.append(np.ascontiguousarray(node))
         return {
             "__kind__": "ndarray",
             "dtype": dtype,
@@ -107,6 +181,83 @@ def _decode(description, blobs: list[memoryview]):
     raise ValueError(f"unknown node kind in checkpoint: {kind}")
 
 
+def _prepare(tree):
+    """Walk the tree once: blob arrays, per-blob CRCs, manifest, total size.
+
+    Returns ``(blobs, manifest_bytes, total_len, blob_crcs)``.  Each
+    blob's CRC32 is computed here, exactly once — the manifest embeds it
+    and :func:`_whole_crc` combines it; nothing downstream re-reads the
+    payload bytes for checksumming.
+    """
+    blobs: list[np.ndarray] = []
+    description = _encode(tree, blobs)
+    blob_crcs = [zlib.crc32(_as_byte_view(blob)) for blob in blobs]
+    manifest = json.dumps(
+        {
+            "root": description,
+            "blob_sizes": [blob.nbytes for blob in blobs],
+            "blob_crcs": blob_crcs,
+        },
+        separators=(",", ":"),
+    ).encode()
+    total_len = _HEADER.size + len(manifest) + sum(blob.nbytes for blob in blobs)
+    return blobs, manifest, total_len, blob_crcs
+
+
+def _whole_crc(head_crc: int, blobs: list[np.ndarray], blob_crcs: list[int]) -> int:
+    """CRC32 of header+manifest+blobs from already-known per-blob CRCs."""
+    crc = head_crc
+    for blob, blob_crc in zip(blobs, blob_crcs):
+        crc = crc32_combine(crc, blob_crc, blob.nbytes)
+    return crc
+
+
+def pack_tree_into(tree, buffer: bytearray) -> tuple[memoryview, int]:
+    """Serialize a checkpoint tree into ``buffer`` — the zero-copy path.
+
+    ``buffer`` is grown (never shrunk) as needed, so a pooled buffer
+    converges to the largest checkpoint it has carried and subsequent
+    packs allocate nothing.  Array payloads are memcpy'd directly from
+    their (contiguous views of) source arrays into the buffer; no
+    intermediate ``bytes`` objects are created.
+
+    Returns ``(view, crc)``: a memoryview over the packed bytes inside
+    ``buffer`` and the CRC32 of those bytes (the store-level whole-blob
+    checksum, derived via :func:`crc32_combine` — the payload is never
+    walked a second time).  The buffer must not be resized while the
+    returned view is alive; call ``view.release()`` when done.
+    """
+    blobs, manifest, total_len, blob_crcs = _prepare(tree)
+    if len(buffer) < total_len:
+        buffer.extend(bytes(total_len - len(buffer)))
+    manifest_end = _HEADER.size + len(manifest)
+    _HEADER.pack_into(buffer, 0, MAGIC, len(manifest), total_len,
+                      zlib.crc32(manifest))
+    view = memoryview(buffer)
+    view[_HEADER.size:manifest_end] = manifest
+    offset = manifest_end
+    for blob in blobs:
+        end = offset + blob.nbytes
+        view[offset:end] = _as_byte_view(blob)
+        offset = end
+    head_crc = zlib.crc32(view[:manifest_end])
+    return view[:total_len], _whole_crc(head_crc, blobs, blob_crcs)
+
+
+def pack_tree_with_crc(tree) -> tuple[bytes, int]:
+    """Serialize to fresh ``bytes`` plus the whole-blob CRC32.
+
+    The CRC comes from the single packing pass (per-blob CRCs combined),
+    so callers that index checkpoints by checksum (the store manifest)
+    need no second walk over the data.
+    """
+    buffer = bytearray()
+    view, crc = pack_tree_into(tree, buffer)
+    data = bytes(view)
+    view.release()
+    return data, crc
+
+
 def pack_tree(tree) -> bytes:
     """Serialize a checkpoint tree to bytes.
 
@@ -114,29 +265,15 @@ def pack_tree(tree) -> bytes:
     CRC32; each blob additionally carries a CRC32 in the manifest, verified
     on read.
     """
-    blobs: list[bytes] = []
-    description = _encode(tree, blobs)
-    manifest = json.dumps(
-        {
-            "root": description,
-            "blob_sizes": [len(blob) for blob in blobs],
-            "blob_crcs": [zlib.crc32(blob) for blob in blobs],
-        },
-        separators=(",", ":"),
-    ).encode()
-    total_len = _HEADER.size + len(manifest) + sum(len(b) for b in blobs)
-    parts = [_HEADER.pack(MAGIC, len(manifest), total_len, zlib.crc32(manifest)),
-             manifest]
-    parts.extend(blobs)
-    return b"".join(parts)
+    return pack_tree_with_crc(tree)[0]
 
 
-def _parse_header(data: bytes):
+def _parse_header(data):
     """Return ``(header_size, manifest_len, total_len, manifest_crc)``.
 
     ``total_len``/``manifest_crc`` are ``None`` for the legacy container.
     """
-    if len(data) >= _LEGACY_HEADER.size and data[:8] == LEGACY_MAGIC:
+    if len(data) >= _LEGACY_HEADER.size and bytes(data[:8]) == LEGACY_MAGIC:
         _, manifest_len = _LEGACY_HEADER.unpack_from(data, 0)
         return _LEGACY_HEADER.size, manifest_len, None, None
     if len(data) < _HEADER.size:
@@ -147,7 +284,7 @@ def _parse_header(data: bytes):
     return _HEADER.size, manifest_len, total_len, manifest_crc
 
 
-def unpack_tree(data: bytes, verify: bool = True):
+def unpack_tree(data, verify: bool = True):
     """Deserialize bytes produced by :func:`pack_tree`.
 
     ``verify=False`` skips CRC verification (e.g. when the backend
@@ -164,7 +301,7 @@ def unpack_tree(data: bytes, verify: bool = True):
     manifest_end = header_size + manifest_len
     if len(data) < manifest_end:
         raise CorruptCheckpointError("truncated checkpoint: manifest cut short")
-    manifest_bytes = data[header_size:manifest_end]
+    manifest_bytes = bytes(data[header_size:manifest_end])
     if verify and manifest_crc is not None:
         if zlib.crc32(manifest_bytes) != manifest_crc:
             raise CorruptCheckpointError(
@@ -197,8 +334,9 @@ def unpack_tree(data: bytes, verify: bool = True):
 
 
 def serialized_size(tree) -> int:
-    """Size in bytes :func:`pack_tree` would produce (without packing blobs twice)."""
-    return len(pack_tree(tree))
+    """Size in bytes :func:`pack_tree` would produce — computed from the
+    manifest pass alone, without copying any blob bytes."""
+    return _prepare(tree)[2]
 
 
 def checksum(data: bytes) -> int:

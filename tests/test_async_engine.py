@@ -1,0 +1,364 @@
+"""Tests for the async persistence engine: ordering, backpressure, drain,
+abort, fail-stop, and byte-equivalence with the synchronous save path.
+
+Synchronization in these tests is event-based (gates, semaphores) rather
+than sleep-based: a ``GateBackend`` blocks its writes on a
+``threading.Event`` so tests control exactly when a writer thread may
+commit, independent of scheduler timing.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.compression import TopKCompressor
+from repro.core import CheckpointConfig, LowDiffCheckpointer
+from repro.optim import Adam
+from repro.tensor.models import MLP
+from repro.storage import (
+    AsyncCheckpointEngine,
+    BufferPool,
+    CheckpointStore,
+    InMemoryBackend,
+    SnapshotStager,
+    WriteAborted,
+)
+from repro.utils.rng import Rng
+from tests.helpers import assert_states_equal, make_mlp_trainer
+
+WAIT = 10.0  # generous upper bound for any legitimate cross-thread wait
+
+
+def diff_payload(rng, size=24):
+    return TopKCompressor(0.5).compress({"w": rng.normal(size=(size,))})
+
+
+def model_state(rng):
+    return {"w": rng.normal(size=(6, 4)), "b": rng.normal(size=(4,))}
+
+
+def optimizer_state(rng):
+    return {"type": "SGD", "step_count": 3,
+            "slots": {"w": {"m": rng.normal(size=(6, 4))}}}
+
+
+class RecordingBackend(InMemoryBackend):
+    """Remembers the order in which checkpoint blobs were written."""
+
+    def __init__(self):
+        super().__init__()
+        self.order = []
+
+    def _write(self, key, data):
+        super()._write(key, data)
+        if "manifest" not in key:
+            self.order.append(key)
+
+
+class GateBackend(InMemoryBackend):
+    """Writes block until ``gate`` is set; ``entered`` counts write entries."""
+
+    def __init__(self):
+        super().__init__()
+        self.gate = threading.Event()
+        self.entered = threading.Semaphore(0)
+
+    def _write(self, key, data):
+        if "manifest" not in key:
+            self.entered.release()
+            if not self.gate.wait(timeout=30.0):  # pragma: no cover - hang guard
+                raise TimeoutError("test gate never opened")
+        super()._write(key, data)
+
+
+class ExplodingBackend(InMemoryBackend):
+    """Fails every non-manifest write."""
+
+    def _write(self, key, data):
+        if "manifest" not in key:
+            raise OSError(f"injected backend failure on {key}")
+        super()._write(key, data)
+
+
+def wait_until(predicate, timeout=WAIT):
+    """Poll ``predicate`` without busy-spinning; False on timeout."""
+    ticker = threading.Event()
+    waited = 0.0
+    while not predicate():
+        if waited >= timeout:
+            return False
+        ticker.wait(0.005)
+        waited += 0.005
+    return True
+
+
+class TestOrdering:
+    def test_commits_follow_submission_order(self, rng):
+        """Many writers, one ordering: blobs land in submission order, so a
+        diff is never visible before the full it chains from."""
+        backend = RecordingBackend()
+        engine = AsyncCheckpointEngine(CheckpointStore(backend),
+                                       num_writers=4, queue_depth=16)
+        pendings = [engine.save_full(0, model_state(rng), optimizer_state(rng))]
+        for step in range(1, 9):
+            pendings.append(engine.save_diff(step, step, diff_payload(rng)))
+        pendings.append(engine.save_full(9, model_state(rng),
+                                         optimizer_state(rng)))
+        engine.finalize()
+        assert len(backend.order) == len(pendings)
+        records = [pending.wait(0) for pending in pendings]
+        assert backend.order == [record.key for record in records]
+        stats = engine.stats()
+        assert stats["submitted"] == stats["committed"] == len(pendings)
+        assert stats["outstanding"] == 0
+
+    def test_no_lost_records_under_concurrent_producers(self, rng):
+        """Several producer threads submitting concurrently: every record
+        commits exactly once and is readable afterwards."""
+        store = CheckpointStore(InMemoryBackend())
+        engine = AsyncCheckpointEngine(store, num_writers=3, queue_depth=4)
+        per_producer = 8
+        errors = []
+
+        def producer(base):
+            thread_rng = Rng(base)
+            try:
+                for offset in range(per_producer):
+                    engine.save_full(base * 100 + offset,
+                                     model_state(thread_rng),
+                                     optimizer_state(thread_rng))
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=producer, args=(base,))
+                   for base in range(1, 4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=WAIT)
+        engine.finalize()
+        assert not errors
+        steps = sorted(record.step for record in store.fulls())
+        assert steps == sorted(base * 100 + offset
+                               for base in range(1, 4)
+                               for offset in range(per_producer))
+        for record in store.fulls():  # every committed blob is readable
+            store.load_full(record)
+
+
+class TestBackpressure:
+    def test_submit_blocks_at_queue_depth_until_commit(self, rng):
+        backend = GateBackend()
+        engine = AsyncCheckpointEngine(CheckpointStore(backend),
+                                       num_writers=1, queue_depth=2)
+        engine.save_diff(1, 1, diff_payload(rng))
+        assert backend.entered.acquire(timeout=WAIT)  # writer inside write()
+        engine.save_diff(2, 2, diff_payload(rng))
+        assert engine.would_block()
+        submitted = threading.Event()
+
+        def producer():
+            engine.save_diff(3, 3, diff_payload(rng))
+            submitted.set()
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        # The producer must be counted as stalled, not submitted.
+        assert wait_until(lambda: engine.backpressure_stalls == 1)
+        assert not submitted.is_set()
+        backend.gate.set()  # first commit completes -> slot frees
+        assert submitted.wait(WAIT)
+        thread.join(timeout=WAIT)
+        engine.finalize()
+        stats = engine.stats()
+        assert stats["committed"] == 3
+        assert stats["high_watermark"] == 2  # never exceeded queue_depth
+        assert stats["backpressure_stalls"] == 1
+        assert stats["backpressure_time_s"] > 0.0
+
+
+class TestLifecycle:
+    def test_finalize_drains_everything(self, rng):
+        store = CheckpointStore(InMemoryBackend())
+        engine = AsyncCheckpointEngine(store, num_writers=2, queue_depth=8)
+        pendings = [engine.save_diff(step, step, diff_payload(rng))
+                    for step in range(1, 7)]
+        engine.finalize()
+        assert all(pending.done for pending in pendings)
+        assert engine.outstanding == 0
+        assert len(store.diffs_after(0)) == 6
+        with pytest.raises(RuntimeError):
+            engine.save_diff(7, 7, diff_payload(rng))  # closed
+
+    def test_abort_drops_queued_tail_but_commits_in_flight(self, rng):
+        backend = GateBackend()
+        store = CheckpointStore(backend)
+        engine = AsyncCheckpointEngine(store, num_writers=1, queue_depth=8)
+        pendings = [engine.save_diff(step, step, diff_payload(rng))
+                    for step in range(1, 5)]
+        assert backend.entered.acquire(timeout=WAIT)  # seq 0 is in flight
+        aborted = threading.Thread(target=engine.abort)
+        aborted.start()
+        # The queued tail (seqs 1-3) is dropped immediately, while the gate
+        # still holds the in-flight write.
+        for pending in pendings[1:]:
+            with pytest.raises(WriteAborted):
+                pending.wait(WAIT)
+        backend.gate.set()
+        aborted.join(timeout=WAIT)
+        assert not aborted.is_alive()
+        assert pendings[0].wait(WAIT).start == 1  # in-flight write committed
+        assert [record.start for record in store.diffs_after(0)] == [1]
+        assert engine.stats()["aborted_writes"] == 3
+
+    def test_pending_wait_timeout_then_result(self, rng):
+        backend = GateBackend()
+        engine = AsyncCheckpointEngine(CheckpointStore(backend),
+                                       num_writers=1, queue_depth=4)
+        pending = engine.save_full(5, model_state(rng), optimizer_state(rng))
+        assert backend.entered.acquire(timeout=WAIT)
+        with pytest.raises(TimeoutError):
+            pending.wait(timeout=0.01)
+        backend.gate.set()
+        engine.finalize()
+        assert pending.wait(0).step == 5
+
+
+class TestFailStop:
+    def test_worker_error_sticky_and_surfaced(self, rng):
+        engine = AsyncCheckpointEngine(CheckpointStore(ExplodingBackend()),
+                                       num_writers=1, queue_depth=4)
+        pending = engine.save_diff(1, 1, diff_payload(rng))
+        with pytest.raises(OSError):
+            pending.wait(WAIT)
+        assert wait_until(lambda: engine.outstanding == 0)
+        with pytest.raises(RuntimeError, match="persistence engine failed"):
+            engine.save_diff(2, 2, diff_payload(rng))
+        with pytest.raises(RuntimeError):  # sticky
+            engine.raise_if_failed()
+        engine.abort()  # abort never re-raises: the dying-process path
+
+    def test_finalize_reraises_worker_error(self, rng):
+        engine = AsyncCheckpointEngine(CheckpointStore(ExplodingBackend()),
+                                       num_writers=2, queue_depth=4)
+        engine.save_diff(1, 1, diff_payload(rng))
+        with pytest.raises(RuntimeError, match="persistence engine failed"):
+            engine.finalize()
+
+
+class TestEquivalence:
+    def test_async_store_bytes_match_sync(self, rng):
+        """The engine is a pure scheduler: the committed store is
+        byte-identical to the synchronous save path."""
+        sync_backend, async_backend = InMemoryBackend(), InMemoryBackend()
+        sync_store = CheckpointStore(sync_backend)
+        engine = AsyncCheckpointEngine(CheckpointStore(async_backend),
+                                       num_writers=3, queue_depth=4)
+        states = [(model_state(Rng(seed)), optimizer_state(Rng(seed)))
+                  for seed in range(3)]
+        payloads = [diff_payload(Rng(100 + seed)) for seed in range(6)]
+        sync_store.save_full(0, *states[0])
+        engine.save_full(0, *states[0])
+        for step, payload in enumerate(payloads, start=1):
+            sync_store.save_diff(start=step, end=step, payload=payload.copy())
+            engine.save_diff(step, step, payload)
+        sync_store.save_full(7, *states[1])
+        engine.save_full(7, *states[1])
+        engine.finalize()
+        assert sync_backend._data == async_backend._data  # keys AND bytes
+
+    def test_checkpointer_async_recovery_bit_exact(self):
+        """End-to-end: LowDiffCheckpointer with async_persist=True produces
+        a store recovery restores bit-exactly, same as sync mode."""
+        reference = make_mlp_trainer(seed=5)
+        reference.run(12)
+        final_state = reference.model_state()
+        results = {}
+        for mode in (False, True):
+            trainer = make_mlp_trainer(seed=5)
+            store = CheckpointStore(InMemoryBackend())
+            config = CheckpointConfig(full_every_iters=6, batch_size=1,
+                                      async_persist=mode, writer_threads=2,
+                                      queue_depth=4)
+            checkpointer = LowDiffCheckpointer(store, config)
+            checkpointer.attach(trainer)
+            trainer.run(12)
+            checkpointer.finalize()
+            if mode:
+                assert checkpointer.stats()["engine"]["committed"] > 0
+            model = MLP(8, [16, 16], 4, rng=Rng(99))
+            optimizer = Adam(model, lr=1e-3)
+            checkpointer.recover(model, optimizer)
+            results[mode] = model.state_dict()
+        assert_states_equal(results[False], final_state)
+        assert_states_equal(results[True], final_state)
+
+
+class TestBufferPool:
+    def test_buffers_are_reused(self):
+        pool = BufferPool()
+        first = pool.acquire()
+        first.extend(b"x" * 64)
+        pool.release(first)
+        second = pool.acquire()
+        assert second is first  # steady state allocates nothing
+        pool.release(second)
+        stats = pool.stats()
+        assert stats["buffers_created"] == 1
+        assert stats["buffers_reused"] == 1
+        assert stats["pooled_bytes"] == 64
+
+    def test_concurrent_acquire_tracks_peak(self):
+        pool = BufferPool()
+        held = [pool.acquire() for _ in range(3)]
+        for buffer in held:
+            pool.release(buffer)
+        assert pool.stats()["buffers_peak_outstanding"] == 3
+
+
+class TestSnapshotStager:
+    def test_staged_tree_is_a_deep_copy(self, rng):
+        stager = SnapshotStager(slots=2)
+        tree = {"model": model_state(rng), "step": 3,
+                "names": ["w", "b"]}
+        slot, staged = stager.stage(tree)
+        assert staged["step"] == 3 and staged["names"] == ["w", "b"]
+        for name in tree["model"]:
+            np.testing.assert_array_equal(staged["model"][name],
+                                          tree["model"][name])
+            assert staged["model"][name] is not tree["model"][name]
+        # Mutating the source after staging must not leak into the copy.
+        before = staged["model"]["w"].copy()
+        tree["model"]["w"] += 1.0
+        np.testing.assert_array_equal(staged["model"]["w"], before)
+        stager.release(slot)
+
+    def test_slot_arrays_are_recycled(self, rng):
+        stager = SnapshotStager(slots=1)
+        tree = {"w": rng.normal(size=(5, 5))}
+        slot, staged_a = stager.stage(tree)
+        stager.release(slot)
+        slot, staged_b = stager.stage(tree)
+        assert staged_b["w"] is staged_a["w"]  # cached per-path array reused
+        stager.release(slot)
+
+    def test_exhausted_slots_stall_until_release(self, rng):
+        stager = SnapshotStager(slots=1)
+        tree = {"w": rng.normal(size=(4,))}
+        slot, _ = stager.stage(tree)
+        staged = threading.Event()
+
+        def second():
+            other, _ = stager.stage(tree)
+            stager.release(other)
+            staged.set()
+
+        thread = threading.Thread(target=second)
+        thread.start()
+        assert wait_until(lambda: stager.stalls == 1)  # blocked, counted
+        assert not staged.is_set()
+        stager.release(slot)
+        assert staged.wait(WAIT)
+        thread.join(timeout=WAIT)
+        assert stager.stall_time_s > 0.0

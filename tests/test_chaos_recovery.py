@@ -84,13 +84,25 @@ def reference_state(seed=5, iterations=30):
     return trainer.model_state()
 
 
+def drill_config(async_persist: bool) -> CheckpointConfig:
+    # batch_size=1 keeps recovery bit-exact for Adam; async mode routes
+    # persistence through the writer-pool engine (in-order commits, so the
+    # backend sees the exact same write sequence and the chaos RNG draws
+    # replay identically).
+    return CheckpointConfig(full_every_iters=8, batch_size=1,
+                            async_persist=async_persist)
+
+
 class TestChaosDrill:
+    @pytest.mark.parametrize("async_persist", [False, True],
+                             ids=["sync", "async"])
     @pytest.mark.parametrize("seed", CHAOS_SEEDS)
-    def test_bit_exact_recovery_under_chaos(self, seed):
+    def test_bit_exact_recovery_under_chaos(self, seed, async_persist):
         """Torn writes + bit flips + transient faults + crashes: the run
-        completes and the final state matches an uninterrupted run."""
+        completes and the final state matches an uninterrupted run — in
+        both persistence modes."""
         store = make_chaos_store(seed)
-        report = make_drill(store).run(
+        report = make_drill(store, config=drill_config(async_persist)).run(
             30, crash_at=[9, 21], reference_state=reference_state())
         assert report.final_matches_reference
         assert report.failures_injected == 2
@@ -130,14 +142,34 @@ class TestChaosDrill:
         assert report.final_matches_reference
         assert "fallback_writes" in report.storage_stats
 
+    @pytest.mark.parametrize("async_persist", [False, True],
+                             ids=["sync", "async"])
     @pytest.mark.parametrize("seed", CHAOS_SEEDS)
-    def test_deterministic_replay(self, seed):
-        """The same seed reproduces the same drill bit-for-bit."""
-        first = make_drill(make_chaos_store(seed)).run(24, crash_at=[11])
-        second = make_drill(make_chaos_store(seed)).run(24, crash_at=[11])
+    def test_deterministic_replay(self, seed, async_persist):
+        """The same seed reproduces the same drill bit-for-bit — even with
+        persistence on background writer threads (in-order commits make
+        the backend op sequence, and hence the chaos draws, schedule-
+        independent)."""
+        config = drill_config(async_persist)
+        first = make_drill(make_chaos_store(seed), config=config).run(
+            24, crash_at=[11])
+        second = make_drill(make_chaos_store(seed), config=config).run(
+            24, crash_at=[11])
         assert first.storage_stats == second.storage_stats
         assert first.quarantined_keys == second.quarantined_keys
         assert first.reprocessed_iterations == second.reprocessed_iterations
+
+    def test_async_drill_matches_sync_drill(self):
+        """Async persistence is invisible to the chaos layer: the drill's
+        fault sequence, quarantines and final state match sync mode."""
+        seed = CHAOS_SEEDS[0]
+        sync = make_drill(make_chaos_store(seed),
+                          config=drill_config(False)).run(24, crash_at=[11])
+        async_ = make_drill(make_chaos_store(seed),
+                            config=drill_config(True)).run(24, crash_at=[11])
+        assert async_.storage_stats == sync.storage_stats
+        assert async_.quarantined_keys == sync.quarantined_keys
+        assert async_.reprocessed_iterations == sync.reprocessed_iterations
 
 
 class TestPlantedCorruption:

@@ -87,6 +87,41 @@ class TestTopK:
             unchosen = np.setdiff1d(np.arange(size), chosen)
             assert np.abs(flat[chosen]).min() >= np.abs(flat[unchosen]).max() - 1e-12
 
+    @staticmethod
+    def _reference_topk(flat, k):
+        """The pre-dual-pivot implementation: partition once, then resolve
+        ties with two full-array scans (lowest index wins)."""
+        size = flat.size
+        if k >= size:
+            return np.arange(size, dtype=np.int64)
+        magnitude = np.abs(flat)
+        candidate = np.argpartition(magnitude, size - k)[size - k:]
+        threshold = magnitude[candidate].min()
+        strictly_above = np.flatnonzero(magnitude > threshold)
+        at_threshold = np.flatnonzero(magnitude == threshold)
+        need = k - strictly_above.size
+        return np.sort(np.concatenate([strictly_above, at_threshold[:need]]))
+
+    @given(st.integers(min_value=1, max_value=400),
+           st.integers(min_value=1, max_value=60),
+           st.sampled_from(["float", "tie_heavy", "all_equal", "one_spike"]))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reference_implementation(self, size, k, kind):
+        """The dual-pivot fast path (and its tie-straddle fallback) selects
+        exactly what the historical two-scan implementation selected."""
+        rng = Rng(size * 1000 + k)
+        if kind == "float":
+            flat = rng.normal(size=(size,))
+        elif kind == "tie_heavy":  # small-int magnitudes: ties everywhere
+            flat = rng.integers(-3, 4, size=(size,)).astype(np.float64)
+        elif kind == "all_equal":
+            flat = np.full(size, 2.5)
+        else:  # one_spike: everything ties except one coordinate
+            flat = np.ones(size)
+            flat[rng.integers(0, size)] = 7.0
+        np.testing.assert_array_equal(topk_indices(flat, k),
+                                      self._reference_topk(flat, k))
+
 
 # ---------------------------------------------------------------------------
 # SparseGradient algebra (hypothesis)

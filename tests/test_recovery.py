@@ -131,22 +131,25 @@ class TestSerialRecovery:
         assert result.step == 2
 
 
+def train_with_snapshots(store, model, optimizer, rng, steps=6):
+    """Full at 0 + one diff per step; snapshot model state after each."""
+    compressor = TopKCompressor(0.5)
+    store.save_full(0, model.state_dict(), optimizer.state_dict())
+    snapshots = {0: model.state_dict()}
+    for step in range(1, steps + 1):
+        grads = {name: rng.child("g", step, name).normal(size=p.shape)
+                 for name, p in model.named_parameters()}
+        payload = compressor.compress(grads)
+        optimizer.step_with(payload.decompress())
+        store.save_diff(step, step, payload)
+        snapshots[step] = model.state_dict()
+    return snapshots
+
+
 class TestCorruptionFallback:
     """Recovery under a stale or partially corrupt checkpoint series."""
 
-    def train_with_snapshots(self, store, model, optimizer, rng, steps=6):
-        """Full at 0 + one diff per step; snapshot model state after each."""
-        compressor = TopKCompressor(0.5)
-        store.save_full(0, model.state_dict(), optimizer.state_dict())
-        snapshots = {0: model.state_dict()}
-        for step in range(1, steps + 1):
-            grads = {name: rng.child("g", step, name).normal(size=p.shape)
-                     for name, p in model.named_parameters()}
-            payload = compressor.compress(grads)
-            optimizer.step_with(payload.decompress())
-            store.save_diff(step, step, payload)
-            snapshots[step] = model.state_dict()
-        return snapshots
+    train_with_snapshots = staticmethod(train_with_snapshots)
 
     def test_stale_manifest_falls_back_bit_exactly(self, rng):
         """The manifest references a full whose blob is gone: a reopened
@@ -256,6 +259,56 @@ class TestParallelRecovery:
             result = parallel_recover(store, target_model, target_opt)
             assert result.merge_ops == steps - 1
             assert result.merge_depth == math.ceil(math.log2(steps))
+
+    def test_threaded_matches_single_threaded(self, rng):
+        """Thread count is invisible in the result: the pool only changes
+        where merges run, never their pairing or order."""
+        results = {}
+        for workers in (1, 4):
+            store = CheckpointStore(InMemoryBackend())
+            model, optimizer = fresh_model_opt(SGD, lr=0.05)
+            populate_store(store, model, optimizer, rng.child("same-data"))
+            target_model, target_opt = fresh_model_opt(SGD, seed=9, lr=0.05)
+            result = parallel_recover(store, target_model, target_opt,
+                                      max_workers=workers)
+            results[workers] = (target_model.state_dict(), result)
+        state_1, result_1 = results[1]
+        state_4, result_4 = results[4]
+        assert_states_equal(state_1, state_4)  # bit-exact across pools
+        assert (result_1.merge_ops, result_1.merge_depth, result_1.step) \
+            == (result_4.merge_ops, result_4.merge_depth, result_4.step)
+
+    def test_threaded_truncates_on_corrupt_decode(self, rng):
+        """A corrupt blob surfacing from a pool decode truncates the chain
+        exactly like the serial path (InMemoryBackend opts into parallel
+        reads, so both threaded stages are exercised)."""
+        store = CheckpointStore(InMemoryBackend())
+        model, optimizer = fresh_model_opt(SGD, lr=0.05)
+        snapshots = train_with_snapshots(store, model, optimizer, rng)
+        bad = next(r for r in store.diffs() if r.start == 5)
+        store.backend.write(bad.key, b"\x00" * 16)
+        target_model, target_opt = fresh_model_opt(SGD, seed=9, lr=0.05)
+        result = parallel_recover(store, target_model, target_opt,
+                                  max_workers=4)
+        assert result.step == 4
+        assert result.corrupt_diffs_skipped == 1
+        assert_states_equal(target_model.state_dict(), snapshots[4],
+                            exact=False, atol=1e-5)
+
+    def test_threaded_truncates_on_missing_read(self, rng):
+        """A missing key surfacing from a parallel read truncates too."""
+        store = CheckpointStore(InMemoryBackend())
+        model, optimizer = fresh_model_opt(SGD, lr=0.05)
+        snapshots = train_with_snapshots(store, model, optimizer, rng)
+        gone = next(r for r in store.diffs() if r.start == 4)
+        store.backend.delete(gone.key)
+        target_model, target_opt = fresh_model_opt(SGD, seed=9, lr=0.05)
+        result = parallel_recover(store, target_model, target_opt,
+                                  max_workers=4)
+        assert result.step == 3
+        assert result.corrupt_diffs_skipped == 1
+        assert_states_equal(target_model.state_dict(), snapshots[3],
+                            exact=False, atol=1e-5)
 
     def test_approximate_for_adam(self, rng):
         """Adam is nonlinear: parallel recovery has gradient-accumulation

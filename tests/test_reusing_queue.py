@@ -139,6 +139,26 @@ class TestThreading:
         thread.join()
         assert elapsed >= 0.04
 
+    def test_backpressure_releases_exactly_on_get(self, rng):
+        """Event-based backpressure check: a producer blocked on a full
+        queue stays blocked until — and unblocks immediately after — a
+        consumer frees a slot.  No sleep-based timing on the success path."""
+        queue = ReusingQueue(maxsize=1)
+        queue.put(0, payload(rng))
+        unblocked = threading.Event()
+
+        def producer():
+            queue.put(1, payload(rng))
+            unblocked.set()
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        assert not unblocked.wait(0.02)  # still blocked while full
+        queue.get(timeout=1.0)           # frees the slot
+        assert unblocked.wait(5.0)       # put completes promptly
+        thread.join(timeout=5.0)
+        assert [iteration for iteration, _ in queue.drain()] == [1]
+
     def test_close_wakes_blocked_producer(self, rng):
         queue = ReusingQueue(maxsize=1)
         queue.put(0, payload(rng))

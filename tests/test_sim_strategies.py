@@ -156,3 +156,43 @@ class TestFailureProfiles:
             LowDiffPlusStrategy(persist_every=0)
         with pytest.raises(ValueError):
             FullSyncStrategy(every=0)
+
+
+class TestAsyncEnginePricing:
+    """Opt-in overlap pricing for the measured writer-pool engine."""
+
+    def test_overlapped_stall_helper(self):
+        strategy = LowDiffStrategy()
+        assert strategy._overlapped_stall(5.0, 3.0) == 2.0
+        assert strategy._overlapped_stall(2.0, 3.0) == 0.0
+        assert strategy._overlapped_stall(3.0, 3.0) == 0.0
+
+    def test_default_off_matches_legacy_pricing(self):
+        """async_engine=False must be bit-identical to the historical
+        backlog-budget model — the flag cannot perturb existing results."""
+        legacy = overhead("gpt2_small",
+                          LowDiffStrategy(full_every=100, batch_size=2))
+        explicit = overhead("gpt2_small",
+                            LowDiffStrategy(full_every=100, batch_size=2,
+                                            async_engine=False))
+        assert legacy == explicit
+
+    @pytest.mark.parametrize("model", ["gpt2_small", "gpt2_large"])
+    def test_overlap_pricing_stays_cheap(self, model):
+        """stall = max(0, backlog − compute gap): per-iteration overhead
+        stays small even under the stricter overlap accounting."""
+        strategy = LowDiffStrategy(full_every=100, batch_size=2,
+                                   async_engine=True)
+        assert overhead(model, strategy) < 0.10
+
+    def test_larger_batches_hide_more(self):
+        """A larger write batch widens the compute gap each persist can
+        hide behind, so overlap-priced overhead is monotone non-increasing
+        in batch size."""
+        small = overhead("gpt2_large",
+                         LowDiffStrategy(full_every=100, batch_size=1,
+                                         async_engine=True))
+        large = overhead("gpt2_large",
+                         LowDiffStrategy(full_every=100, batch_size=4,
+                                         async_engine=True))
+        assert large <= small

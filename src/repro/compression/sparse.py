@@ -18,6 +18,14 @@ import numpy as np
 VALUE_DTYPE = np.float32
 INDEX_DTYPE = np.int32
 
+#: Telemetry for the k-way merge fast path (read by the perf-regression
+#: guard in ``benchmarks/bench_hot_path.py``).  ``kway`` counts merges that
+#: took the single-pass vectorized route; ``fallback`` counts merges that
+#: had to drop back to the sequential pairwise fold because a payload
+#: carried duplicate indices (illegal for compressor output, but the
+#: container tolerates them).
+KWAY_MERGE_STATS = {"kway": 0, "fallback": 0}
+
 
 class SparseGradient:
     """Named sparse tensors sharing one parameter space.
@@ -121,6 +129,66 @@ class SparseGradient:
             return payloads[0].copy()
         return _union_add(payloads)
 
+    @classmethod
+    def merge_ordered(cls, payloads: list["SparseGradient"]) -> "SparseGradient":
+        """Single-pass k-way union-add, **bit-identical to the left fold**
+        ``reduce(lambda a, b: a.add(b), payloads)``.
+
+        Unlike :meth:`merge_many` (which accumulates everything in float64
+        and rounds once), this path reproduces the fold's per-level fp32
+        rounding exactly: after one global stable sort, each coordinate's
+        contributions are folded in worker order with the same
+        float64-pair-then-fp32-round step ``add`` performs — ``p``
+        vectorized passes for a maximum per-coordinate multiplicity of
+        ``p + 1``, instead of ``k - 1`` full concat+unique merges.  It is
+        what :func:`repro.distributed.collectives.sparse_allreduce` and the
+        batched gradient writer use, so synchronized payloads and batched
+        diff records stay bit-exact against the historical pairwise path.
+
+        A payload carrying duplicate indices (illegal for compressor
+        output) makes per-level rounding ambiguous, so such merges fall
+        back to the sequential fold; :data:`KWAY_MERGE_STATS` records
+        which route each merge took.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            raise ValueError("nothing to merge")
+        for payload in payloads[1:]:
+            if payload.shapes != payloads[0].shapes:
+                raise KeyError(
+                    "cannot merge SparseGradients over different parameter spaces")
+        if len(payloads) == 1:
+            return payloads[0]
+        merged = _union_add_ordered(payloads)
+        if merged is None:  # duplicate indices: preserve fold semantics
+            KWAY_MERGE_STATS["fallback"] += 1
+            result = payloads[0]
+            for payload in payloads[1:]:
+                result = result.add(payload)
+            return result
+        KWAY_MERGE_STATS["kway"] += 1
+        return merged
+
+    def decompress_into(self, scratch: "DenseScratch") -> dict[str, np.ndarray]:
+        """Densify into ``scratch``'s reusable buffers — bit-identical to
+        :meth:`decompress` without the per-call ``np.zeros`` allocations.
+
+        Only the coordinates the *previous* scatter touched are re-zeroed
+        (O(k), not O(n)), so replaying a long chain of rho-sparse diffs
+        never pays a full dense clear per record.  The returned arrays are
+        views into ``scratch`` and are only valid until the next
+        ``decompress_into`` call on it.
+        """
+        if scratch.shapes != self.shapes:
+            raise KeyError("scratch buffers cover a different parameter space")
+        dense = {}
+        for name, (indices, values) in self.entries.items():
+            flat = scratch.reset_flat(name)
+            np.add.at(flat, indices, values.astype(np.float64))
+            scratch.mark_touched(name, indices)
+            dense[name] = scratch.shaped(name)
+        return dense
+
     def scale(self, factor: float) -> "SparseGradient":
         return SparseGradient(
             {
@@ -174,6 +242,131 @@ class SparseGradient:
             f"SparseGradient(tensors={len(self.entries)}, "
             f"selected={self.num_selected}/{self.num_elements})"
         )
+
+
+class DenseScratch:
+    """Reusable dense float64 buffers for :meth:`SparseGradient.decompress_into`.
+
+    One flat buffer per tensor, allocated once; between scatters only the
+    coordinates of the previous payload are re-zeroed.  Shared by the
+    trainer's update path and recovery replay so neither allocates dense
+    arrays per iteration.
+    """
+
+    __slots__ = ("shapes", "_flat", "_touched")
+
+    def __init__(self, shapes: dict[str, tuple]):
+        self.shapes = {name: tuple(shape) for name, shape in shapes.items()}
+        self._flat = {
+            name: np.zeros(int(np.prod(shape)) if shape else 1)
+            for name, shape in self.shapes.items()
+        }
+        self._touched: dict[str, np.ndarray | None] = {
+            name: None for name in self.shapes
+        }
+
+    def reset_flat(self, name: str) -> np.ndarray:
+        """Zero the previously touched coordinates; return the flat buffer."""
+        flat = self._flat[name]
+        touched = self._touched[name]
+        if touched is not None:
+            flat[touched] = 0.0
+            self._touched[name] = None
+        return flat
+
+    def mark_touched(self, name: str, indices: np.ndarray) -> None:
+        self._touched[name] = indices
+
+    def shaped(self, name: str) -> np.ndarray:
+        return self._flat[name].reshape(self.shapes[name])
+
+
+def _union_add_ordered(payloads: list["SparseGradient"]) -> "SparseGradient | None":
+    """Vectorized k-way merge with left-fold rounding semantics.
+
+    One stable sort lifts every entry into the global index space tagged
+    with its payload order; per coordinate, contributions are then folded
+    in that order with the exact float64-pair + fp32-round step a
+    sequential ``add`` chain performs — vectorized across all coordinates
+    at fold level ``p`` at once.  Returns ``None`` when some payload holds
+    duplicate indices (the caller falls back to the true fold, whose
+    intra-payload accumulation order cannot be reproduced level-wise).
+    """
+    first = payloads[0]
+    names = list(first.entries)
+    shapes = first.shapes
+    offsets: dict[str, int] = {}
+    total = 0
+    for name in names:
+        shape = shapes[name]
+        offsets[name] = total
+        total += int(np.prod(shape)) if shape else 1
+    index_parts: list[np.ndarray] = []
+    value_parts: list[np.ndarray] = []
+    payload_ids: list[np.ndarray] = []
+    for position, payload in enumerate(payloads):
+        for name in names:
+            indices, values = payload.entries[name]
+            index_parts.append(indices.astype(np.int64) + offsets[name])
+            value_parts.append(values)
+            payload_ids.append(np.full(indices.shape[0], position, dtype=np.int32))
+    if index_parts:
+        global_indices = np.concatenate(index_parts)
+        global_values = np.concatenate(value_parts)
+        global_payload = np.concatenate(payload_ids)
+    else:
+        global_indices = np.array([], dtype=np.int64)
+        global_values = np.array([], dtype=VALUE_DTYPE)
+        global_payload = np.array([], dtype=np.int32)
+    order = np.argsort(global_indices, kind="stable")
+    sorted_indices = global_indices[order]
+    sorted_values = global_values[order]
+    count = sorted_indices.shape[0]
+    if count:
+        same_index = sorted_indices[1:] == sorted_indices[:-1]
+        # Stable sort keeps payload order within a coordinate, so a
+        # duplicate inside one payload shows up as adjacent equal pairs
+        # with an equal payload id.
+        sorted_payload = global_payload[order]
+        if np.any(same_index & (sorted_payload[1:] == sorted_payload[:-1])):
+            return None
+        boundaries = np.empty(count, dtype=bool)
+        boundaries[0] = True
+        boundaries[1:] = ~same_index
+        starts = np.flatnonzero(boundaries)
+        unique_indices = sorted_indices[starts]
+        group_of = np.cumsum(boundaries) - 1
+        rank = np.arange(count, dtype=np.int64) - starts[group_of]
+        acc = sorted_values[starts].astype(VALUE_DTYPE, copy=True)
+        max_rank = int(rank.max()) if count else 0
+        remaining = np.flatnonzero(rank > 0)
+        level = 1
+        while remaining.size:
+            sel = remaining[rank[remaining] == level]
+            if sel.size:
+                groups = group_of[sel]
+                folded = (acc[groups].astype(np.float64)
+                          + sorted_values[sel].astype(np.float64))
+                acc[groups] = folded.astype(VALUE_DTYPE)
+                if sel.size == remaining.size:
+                    break
+                remaining = remaining[rank[remaining] > level]
+            level += 1
+            if level > max_rank:
+                break
+    else:
+        unique_indices = np.array([], dtype=np.int64)
+        acc = np.array([], dtype=VALUE_DTYPE)
+    entries: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    bounds = np.searchsorted(
+        unique_indices, [offsets[name] for name in names] + [total])
+    for position, name in enumerate(names):
+        low, high = bounds[position], bounds[position + 1]
+        entries[name] = (
+            (unique_indices[low:high] - offsets[name]).astype(INDEX_DTYPE),
+            acc[low:high],
+        )
+    return SparseGradient(entries, shapes)
 
 
 def _union_add(payloads: list["SparseGradient"]) -> "SparseGradient":

@@ -15,6 +15,7 @@ Three steps per the paper:
 
 from __future__ import annotations
 
+from repro.compression.sparse import SparseGradient
 from repro.storage.checkpoint_store import CheckpointStore, DiffCheckpointRecord
 
 
@@ -108,9 +109,15 @@ class BatchedGradientWriter:
     # Internals ------------------------------------------------------------------
     def _write_batch(self) -> DiffCheckpointRecord:
         iterations = [iteration for iteration, _ in self._pending]
-        merged = self._pending[0][1]
-        for _, payload in self._pending[1:]:
-            merged = merged.add(payload)
+        payloads = [payload for _, payload in self._pending]
+        if len(payloads) > 1 and isinstance(payloads[0], SparseGradient):
+            # Single k-way union-add pass, bit-identical to the sequential
+            # fold it replaces (SparseGradient.merge_ordered).
+            merged = SparseGradient.merge_ordered(payloads)
+        else:
+            merged = payloads[0]
+            for payload in payloads[1:]:
+                merged = merged.add(payload)
         record = self.store.save_diff(
             start=iterations[0], end=iterations[-1], payload=merged,
             count=len(iterations),

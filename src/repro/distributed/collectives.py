@@ -41,8 +41,12 @@ def allreduce_mean(worker_grads: list[dict[str, np.ndarray]],
                    stats: CommStats | None = None) -> dict[str, np.ndarray]:
     """Dense ring-allreduce: element-wise mean across workers.
 
-    Wire cost of a ring allreduce is ``2 * (N-1)/N * size`` per worker;
-    we record the aggregate across workers.
+    Accumulation runs in float64 (matching NCCL's widened reduction for
+    determinism) but the result is cast back to each input tensor's dtype:
+    an allreduce never widens what travels the wire.  Wire cost of a ring
+    allreduce is ``2 * (N-1)/N * size`` per worker, recorded from the
+    *input* dtype — the float64 accumulator is a local implementation
+    detail, not wire traffic.
     """
     if not worker_grads:
         raise ValueError("allreduce over zero workers")
@@ -52,14 +56,14 @@ def allreduce_mean(worker_grads: list[dict[str, np.ndarray]],
             raise KeyError("workers disagree on parameter names")
     count = len(worker_grads)
     result = {}
-    for name in worker_grads[0]:
-        acc = worker_grads[0][name].astype(np.float64, copy=True)
+    for name, tensor in worker_grads[0].items():
+        acc = tensor.astype(np.float64, copy=True)
         for grads in worker_grads[1:]:
             acc += grads[name]
         acc /= count
-        result[name] = acc
+        result[name] = acc.astype(np.asarray(tensor).dtype, copy=False)
     if stats is not None:
-        size = _named_bytes(result)
+        size = _named_bytes(worker_grads[0])
         stats.record("allreduce", int(2 * (count - 1) * size))
     return result
 
@@ -125,7 +129,14 @@ def sparse_allreduce(worker_payloads: list[SparseGradient], average: bool = True
         count = len(worker_payloads)
         total = sum(p.nbytes for p in worker_payloads)
         stats.record("sparse_allgather", int((count - 1) * total))
-    merged = reduce(lambda a, b: a.add(b), worker_payloads)
+    if isinstance(worker_payloads[0], SparseGradient):
+        # Single global-index-space merge: one stable sort + per-level
+        # vectorized folds over all N workers at once, bit-identical to
+        # the sequential pairwise reduce it replaces (see
+        # SparseGradient.merge_ordered) at a fraction of the cost.
+        merged = SparseGradient.merge_ordered(worker_payloads)
+    else:
+        merged = reduce(lambda a, b: a.add(b), worker_payloads)
     if average:
         merged = merged.scale(1.0 / len(worker_payloads))
     return merged

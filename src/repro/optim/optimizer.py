@@ -18,7 +18,26 @@ from repro.tensor.parameter import Parameter
 
 
 class Optimizer:
-    """Base optimizer bound to a set of named parameters."""
+    """Base optimizer bound to a set of named parameters.
+
+    Subclasses provide two update kernels per parameter:
+
+    * ``_update_param`` — the reference implementation, written with plain
+      numpy expressions (allocates temporaries freely);
+    * ``_update_param_fused`` — an allocation-free variant using the
+      preallocated per-parameter scratch buffers from ``_scratch_for``,
+      **bit-identical** to the reference (pinned by property tests).
+
+    ``step_with`` takes the fused path whenever ``fused`` is True and every
+    parameter is float64 (the training dtype of this stack; other dtypes
+    would change numpy's intermediate-dtype propagation, so they fall back
+    to the reference kernel).  Both live training and recovery replay go
+    through ``step_with``, so they share the same fast path.
+    """
+
+    #: Class-wide default; instances may flip ``self.fused`` to force the
+    #: reference kernels (tests do, to pin bit-exactness).
+    fused = True
 
     def __init__(self, params: Module | Iterable[Parameter], lr: float):
         if lr <= 0:
@@ -38,6 +57,10 @@ class Optimizer:
         self._named: dict[str, Parameter] = dict(named)
         self.lr = float(lr)
         self.step_count = 0
+        self._scratch: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        self._fused_ok = all(
+            param.data.dtype == np.float64 for param in self._named.values()
+        )
 
     # Introspection --------------------------------------------------------
     @property
@@ -74,6 +97,7 @@ class Optimizer:
         if missing:
             raise KeyError(f"missing gradients for: {sorted(missing)}")
         self.step_count += 1
+        fused = self.fused and self._fused_ok
         for name, param in self._named.items():
             grad = np.asarray(named_grads[name], dtype=np.float64)
             if grad.shape != param.data.shape:
@@ -81,10 +105,30 @@ class Optimizer:
                     f"gradient shape {grad.shape} != parameter shape "
                     f"{param.data.shape} for {name}"
                 )
-            self._update_param(name, param, grad)
+            if fused:
+                self._update_param_fused(name, param, grad)
+            else:
+                self._update_param(name, param, grad)
 
     def _update_param(self, name: str, param: Parameter, grad: np.ndarray) -> None:
         raise NotImplementedError
+
+    def _update_param_fused(self, name: str, param: Parameter,
+                            grad: np.ndarray) -> None:
+        """Allocation-free update; defaults to the reference kernel."""
+        self._update_param(name, param, grad)
+
+    def _scratch_for(self, name: str, shape: tuple) -> tuple[np.ndarray, np.ndarray]:
+        """Two reusable float64 work buffers matching ``shape``.
+
+        Allocated lazily on first use and reused for every subsequent
+        step, so the steady-state update makes zero dense allocations.
+        """
+        buffers = self._scratch.get(name)
+        if buffers is None or buffers[0].shape != shape:
+            buffers = (np.empty(shape), np.empty(shape))
+            self._scratch[name] = buffers
+        return buffers
 
     # State round-trip --------------------------------------------------------
     def state_dict(self) -> dict:

@@ -39,6 +39,25 @@ class SGD(Optimizer):
         else:
             param.data -= self.lr * grad
 
+    def _update_param_fused(self, name: str, param: Parameter,
+                            grad: np.ndarray) -> None:
+        # Bit-identical to _update_param (same operations, same order,
+        # same association) with the temporaries replaced by the two
+        # preallocated scratch buffers.
+        s1, s2 = self._scratch_for(name, param.data.shape)
+        if self.weight_decay:
+            np.multiply(param.data, self.weight_decay, out=s1)
+            np.add(grad, s1, out=s1)
+            grad = s1
+        if self.momentum:
+            velocity = self._velocity[name]
+            velocity *= self.momentum
+            velocity += grad
+            np.multiply(velocity, self.lr, out=s2)
+        else:
+            np.multiply(grad, self.lr, out=s2)
+        param.data -= s2
+
     def _slots(self, name: str) -> dict[str, np.ndarray]:
         if self.momentum:
             return {"velocity": self._velocity[name]}

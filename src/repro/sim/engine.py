@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.sim.workload import Workload
 
 
@@ -128,7 +130,20 @@ class TrainingSim:
                     if workload.rho is not None else 0.0)
         return workload.iter_time + exposed_sync + compress
 
-    def run(self, iterations: int) -> SimResult:
+    def run(self, iterations: int, fast_forward: bool = True) -> SimResult:
+        """Simulate ``iterations`` iterations under the bound strategy.
+
+        With ``fast_forward`` (the default), runs of iterations in which
+        the strategy schedules nothing — per its :meth:`next_event`
+        declaration — are batch-advanced by :meth:`_advance_idle` instead
+        of ticked one at a time.  The fast path performs the *same
+        floating-point operations in the same order* as the per-iteration
+        loop (clock advance, FIFO gradient-sync scheduling on the
+        network), so every metric is bit-identical; it just skips the
+        per-iteration Python dispatch (hook calls, stall bookkeeping,
+        ``Resource.schedule`` framing).  ``fast_forward=False`` forces the
+        historical loop — the equality oracle for the tests.
+        """
         if iterations <= 0:
             raise ValueError(f"iterations must be > 0, got {iterations}")
         base = self.baseline_iter_time()
@@ -138,9 +153,36 @@ class TrainingSim:
                         if workload.rho is not None
                         else workload.dense_gradient_bytes)
         sync_bytes = 2.0 * sync_payload * (nodes - 1) / nodes if nodes > 1 else 0.0
+        sync_duration = (sync_bytes / workload.cluster.network_bandwidth
+                         if sync_bytes else 0.0)
         self._pending_stall = 0.0
         self.strategy.on_start()
-        for index in range(iterations):
+        # Probing is pure optimization — disabling it is always sound — so
+        # after a streak of zero-gap probes (a strategy that acts every
+        # iteration, e.g. per-iteration LowDiff) stop paying for it.
+        probe = self.strategy.next_event if fast_forward else None
+        zero_gap_streak = 0
+        index = 0
+        while index < iterations:
+            if probe is not None:
+                event = probe(index)
+                if event is None:
+                    self._advance_idle(iterations - index, base,
+                                       sync_bytes, sync_duration)
+                    index = iterations
+                    break
+                if event > index:
+                    zero_gap_streak = 0
+                    horizon = event if event < iterations else iterations
+                    self._advance_idle(horizon - index, base,
+                                       sync_bytes, sync_duration)
+                    index = horizon
+                    if index >= iterations:
+                        break
+                else:
+                    zero_gap_streak += 1
+                    if zero_gap_streak >= 8:
+                        probe = None
             self._pending_stall = 0.0
             self.strategy.before_iteration(index)
             self.now += base + self._pending_stall
@@ -149,12 +191,13 @@ class TrainingSim:
             # (Gemini replication, remote storage) contends with it.
             if sync_bytes:
                 self.network.schedule(
-                    self.now - base, sync_bytes / workload.cluster.network_bandwidth,
+                    self.now - base, sync_duration,
                     nbytes=sync_bytes,
                 )
             self._pending_stall = 0.0
             self.strategy.after_iteration(index)
             self.now += self._pending_stall
+            index += 1
         self._pending_stall = 0.0
         self.strategy.on_finish(final_iteration=iterations - 1)
         self.now += self._pending_stall
@@ -176,4 +219,87 @@ class TrainingSim:
             },
         )
 
+    def _advance_idle(self, count: int, base: float, sync_bytes: float,
+                      sync_duration: float) -> None:
+        """Batch-advance ``count`` hook-free iterations.
+
+        Replays exactly the float operations the per-iteration loop would
+        perform — ``now += base`` per iteration and, when gradient sync is
+        on the wire, the FIFO ``network.schedule`` arithmetic
+        (``start = max(ready, free_at)``; note ``max`` returns its first
+        argument on ties, hence the ``<=`` comparison) — without the
+        per-iteration hook dispatch and stall bookkeeping.
+
+        The sequential folds (``now``, ``busy_time``, ``bytes_moved``)
+        vectorize with ``np.add.accumulate``, which is a left-to-right
+        scan and therefore rounds identically to the Python loop.  The
+        data-dependent FIFO recurrence collapses whenever the channel
+        keeps up (``free_at <= ready`` throughout, the steady state of an
+        idle stretch because the *exposed* sync time is already part of
+        ``base``): then every op starts at its own ready time and
+        ``free_at`` is just ``ready + sync_duration`` — checked
+        vectorially, with a scalar-loop fallback for the rare catch-up
+        stretch.  Bit-identical results are pinned by
+        tests/test_sim_fast_forward.py.
+
+        Below ``_VECTOR_THRESHOLD`` iterations the ndarray set-up costs
+        more than it saves, so short gaps take a scalar loop with the
+        same operation sequence.
+        """
+        if count < self._VECTOR_THRESHOLD:
+            now = self.now
+            if not sync_bytes:
+                for _ in range(count):
+                    now += base
+                self.now = now
+                return
+            net = self.network
+            free_at = net.free_at
+            busy = net.busy_time
+            moved = net.bytes_moved
+            for _ in range(count):
+                now += base
+                ready = now - base
+                start = ready if free_at <= ready else free_at
+                free_at = start + sync_duration
+                busy += sync_duration
+                moved += sync_bytes
+            self.now = now
+            net.free_at = free_at
+            net.busy_time = busy
+            net.bytes_moved = moved
+            net.op_count += count
+            return
+        steps = np.empty(count + 1, dtype=np.float64)
+        steps[0] = self.now
+        steps[1:] = base
+        nows = np.add.accumulate(steps)
+        if not sync_bytes:
+            self.now = float(nows[count])
+            return
+        net = self.network
+        readys = nows[1:] - base
+        candidate = readys + sync_duration
+        if (net.free_at <= readys[0]
+                and (count == 1 or np.all(candidate[:-1] <= readys[1:]))):
+            free_at = float(candidate[count - 1])
+        else:
+            free_at = net.free_at
+            for ready in readys:
+                start = ready if free_at <= ready else free_at
+                free_at = start + sync_duration
+        steps[0] = net.busy_time
+        steps[1:] = sync_duration
+        net.busy_time = float(np.add.accumulate(steps)[count])
+        steps[0] = net.bytes_moved
+        steps[1:] = sync_bytes
+        net.bytes_moved = float(np.add.accumulate(steps)[count])
+        net.free_at = free_at
+        net.op_count += count
+        self.now = float(nows[count])
+
     _pending_stall: float = 0.0
+    #: Gap length above which ``_advance_idle`` switches from the scalar
+    #: loop to the ``np.add.accumulate`` scan (both paths round
+    #: identically; this is purely a constant-factor crossover).
+    _VECTOR_THRESHOLD = 64

@@ -71,6 +71,25 @@ class CheckpointStrategy:
     def on_finish(self, final_iteration: int) -> None:
         pass
 
+    # Fast-forward contract -------------------------------------------------
+    def next_event(self, index: int) -> int | None:
+        """First iteration ``>= index`` whose hooks may act, ``None`` = never.
+
+        The engine's fast-forward path batch-advances every iteration in
+        ``[index, next_event(index))`` without calling the per-iteration
+        hooks, so a strategy promising a horizon asserts its
+        ``before_iteration``/``after_iteration`` are no-ops strictly
+        before it.  The base implementation returns ``index`` —
+        "I may act right now" — which disables fast-forward and is always
+        safe; purely periodic strategies override it.
+        """
+        return index
+
+    @staticmethod
+    def _next_multiple_event(index: int, every: int) -> int:
+        """Next iteration ``>= index`` with ``(iteration + 1) % every == 0``."""
+        return (index + every) // every * every - 1
+
     # Failure/recovery interface ------------------------------------------------------
     def failure_profile(self, kind: str = "hardware") -> FailureProfile:
         """Expected failure cost; ``kind`` is ``"hardware"`` or ``"software"``."""
@@ -139,6 +158,9 @@ class NoCheckpoint(CheckpointStrategy):
     """W/O CKPT: the training-speed upper bound; a failure loses everything."""
 
     name = "none"
+
+    def next_event(self, index: int) -> int | None:
+        return None  # no hooks ever act: the whole run fast-forwards
 
     def failure_profile(self, kind: str = "hardware") -> FailureProfile:
         return FailureProfile(lost_iterations=float("inf"), recovery_time_s=0.0)

@@ -17,6 +17,9 @@ class FullSyncStrategy(CheckpointStrategy):
         self.every = int(every)
         self.remote_storage = bool(remote_storage)
 
+    def next_event(self, index: int) -> int | None:
+        return self._next_multiple_event(index, self.every)
+
     def after_iteration(self, index: int) -> None:
         if (index + 1) % self.every:
             return

@@ -25,6 +25,9 @@ class GeminiStrategy(CheckpointStrategy):
         self.every = int(every)
         self.remote_fraction = float(remote_fraction)
 
+    def next_event(self, index: int) -> int | None:
+        return self._next_multiple_event(index, self.every)
+
     def after_iteration(self, index: int) -> None:
         if (index + 1) % self.every:
             return

@@ -46,6 +46,10 @@ class LowDiffStrategy(CheckpointStrategy):
         return cls(full_every=config.full_every_iters,
                    batch_size=config.batch_size, **kwargs)
 
+    def next_event(self, index: int) -> int | None:
+        return min(self._next_multiple_event(index, self.diff_every),
+                   self._next_multiple_event(index, self.full_every))
+
     def after_iteration(self, index: int) -> None:
         workload, sim = self.workload, self.sim
         step = index + 1

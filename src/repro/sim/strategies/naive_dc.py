@@ -23,6 +23,10 @@ class NaiveDCStrategy(CheckpointStrategy):
         self.full_every = int(full_every)
         self.diff_every = int(diff_every)
 
+    def next_event(self, index: int) -> int | None:
+        return min(self._next_multiple_event(index, self.diff_every),
+                   self._next_multiple_event(index, self.full_every))
+
     def after_iteration(self, index: int) -> None:
         workload, sim = self.workload, self.sim
         step = index + 1

@@ -55,6 +55,59 @@ class TestAllreduce:
         assert stats.calls_by_op["allreduce"] == 1
 
 
+class TestCommStatsAccounting:
+    """Pin the exact wire bytes each primitive records on known payloads."""
+
+    def test_allreduce_float32_counts_input_dtype(self):
+        # 4 workers, one (8,) float32 tensor: ring allreduce moves
+        # 2*(N-1)*size = 2*3*32 bytes.  The float64 accumulator is a local
+        # detail and must NOT inflate the accounting.
+        stats = CommStats()
+        grads = [{"w": np.ones(8, dtype=np.float32)} for _ in range(4)]
+        out = allreduce_mean(grads, stats=stats)
+        assert out["w"].dtype == np.float32   # result keeps the wire dtype
+        assert stats.bytes_by_op["allreduce"] == 2 * 3 * 32
+        assert stats.calls_by_op["allreduce"] == 1
+
+    def test_allreduce_float64_exact_bytes(self):
+        stats = CommStats()
+        grads = [{"a": np.ones(4), "b": np.ones((2, 3))} for _ in range(3)]
+        out = allreduce_mean(grads, stats=stats)
+        assert out["a"].dtype == np.float64
+        # size = (4 + 6) * 8 = 80 bytes; 2*(N-1)*size = 2*2*80.
+        assert stats.bytes_by_op["allreduce"] == 2 * 2 * 80
+
+    def test_sparse_allgather_exact_bytes(self):
+        stats = CommStats()
+        grads = [{"w": np.arange(10, dtype=np.float64) + rank}
+                 for rank in range(2)]
+        payloads = [TopKCompressor(0.5).compress(g) for g in grads]
+        sparse_allreduce(payloads, stats=stats)
+        # Each payload: 5 int32 indices + 5 float32 values = 40 bytes;
+        # allgather moves (N-1) * total_payload = 1 * 80.
+        assert all(p.nbytes == 40 for p in payloads)
+        assert stats.bytes_by_op["sparse_allgather"] == 80
+        assert stats.calls_by_op["sparse_allgather"] == 1
+
+    def test_broadcast_exact_bytes(self):
+        stats = CommStats()
+        broadcast({"w": np.ones((4, 4))}, 5, stats=stats)
+        # Root sends 128 bytes to each of the other 4 workers.
+        assert stats.bytes_by_op["broadcast"] == 4 * 128
+
+    def test_reduce_scatter_exact_bytes(self):
+        stats = CommStats()
+        grads = [{"a": np.ones(8), "b": np.ones(8)} for _ in range(4)]
+        reduce_scatter_mean(grads, stats=stats)
+        # Each worker keeps its shard and receives (N-1)/N of the total:
+        # (N-1) * size / N = 3 * 128 / 4.
+        assert stats.bytes_by_op["reduce_scatter"] == 3 * 128 // 4
+        # reduce_scatter_mean reuses allreduce_mean numerics without
+        # recording an allreduce — only the scatter cost hits the wire.
+        assert "allreduce" not in stats.bytes_by_op
+        assert stats.total_bytes == stats.bytes_by_op["reduce_scatter"]
+
+
 class TestAllgatherBroadcast:
     def test_allgather_preserves_order(self, rng):
         payloads = [object() for _ in range(4)]

@@ -1,0 +1,134 @@
+"""Fast-forward simulation must be bit-identical to the per-iteration loop.
+
+``TrainingSim.run(fast_forward=True)`` batch-advances event-free stretches
+(declared via ``CheckpointStrategy.next_event``); ``fast_forward=False`` is
+the historical loop and serves as the oracle.  Every float field of the
+:class:`SimResult` must match exactly — fast-forward is an execution
+optimization, not a model change.
+"""
+
+from dataclasses import fields
+
+import pytest
+
+from repro.sim.engine import Resource, TrainingSim
+from repro.sim.strategies.base import CheckpointStrategy, NoCheckpoint
+from repro.sim.strategies.checkfreq import CheckFreqStrategy
+from repro.sim.strategies.full_sync import FullSyncStrategy
+from repro.sim.strategies.gemini import GeminiStrategy
+from repro.sim.strategies.lowdiff import LowDiffStrategy
+from repro.sim.strategies.lowdiff_plus import LowDiffPlusStrategy
+from repro.sim.strategies.naive_dc import NaiveDCStrategy
+from repro.sim.cluster import A100_CLUSTER
+from repro.sim.workload import Workload
+
+STRATEGIES = {
+    "none": lambda: NoCheckpoint(),
+    "full_sync_10": lambda: FullSyncStrategy(every=10),
+    "full_sync_7": lambda: FullSyncStrategy(every=7),       # non-dividing period
+    "full_sync_500": lambda: FullSyncStrategy(every=500),   # period > run length
+    "checkfreq_10": lambda: CheckFreqStrategy(every=10),
+    "gemini_2": lambda: GeminiStrategy(every=2),
+    "naive_dc": lambda: NaiveDCStrategy(full_every=50, diff_every=5),
+    "lowdiff_d1": lambda: LowDiffStrategy(full_every=20, batch_size=2,
+                                          diff_every=1),
+    "lowdiff_d5": lambda: LowDiffStrategy(full_every=50, batch_size=4,
+                                          diff_every=5),
+    "lowdiff_plus": lambda: LowDiffPlusStrategy(),
+}
+
+
+def cluster(nodes=None):
+    if nodes is None:
+        return A100_CLUSTER
+    from dataclasses import replace
+    return replace(A100_CLUSTER, num_nodes=nodes)
+
+
+def assert_results_identical(slow, fast):
+    for field_ in fields(slow):
+        a, b = getattr(slow, field_.name), getattr(fast, field_.name)
+        assert a == b, f"{field_.name}: slow={a!r} fast={fast!r}"
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    @pytest.mark.parametrize("rho", [0.01, None])
+    def test_strategy_matrix(self, name, rho):
+        make = STRATEGIES[name]
+        workload = Workload.create("bert_large", cluster(), rho=rho)
+        slow = TrainingSim(workload, make()).run(313, fast_forward=False)
+        fast = TrainingSim(workload, make()).run(313)
+        assert_results_identical(slow, fast)
+
+    @pytest.mark.parametrize("iterations", [1, 2, 63, 64, 65, 200])
+    def test_vector_threshold_boundaries(self, iterations):
+        # Runs whose idle stretches straddle the scalar/vectorized
+        # crossover inside _advance_idle.
+        workload = Workload.create("gpt2_small", cluster(), rho=0.01)
+        slow = TrainingSim(workload, FullSyncStrategy(every=1000)).run(
+            iterations, fast_forward=False)
+        fast = TrainingSim(workload, FullSyncStrategy(every=1000)).run(iterations)
+        assert_results_identical(slow, fast)
+
+    def test_single_node_no_sync_traffic(self):
+        # nodes=1 -> sync_bytes == 0: the no-network fast path.
+        workload = Workload.create("resnet50", cluster(nodes=1), rho=None)
+        slow = TrainingSim(workload, NoCheckpoint()).run(500, fast_forward=False)
+        fast = TrainingSim(workload, NoCheckpoint()).run(500)
+        assert_results_identical(slow, fast)
+
+
+class TestNextEventContract:
+    def test_base_returns_index(self):
+        strategy = CheckpointStrategy()
+        assert strategy.next_event(17) == 17  # "may act now": never skips
+
+    def test_no_checkpoint_never_acts(self):
+        assert NoCheckpoint().next_event(0) is None
+
+    @pytest.mark.parametrize("every", [1, 2, 7, 10])
+    def test_periodic_horizon_is_first_acting_iteration(self, every):
+        strategy = FullSyncStrategy(every=every)
+        for index in range(30):
+            event = strategy.next_event(index)
+            assert event >= index
+            assert (event + 1) % every == 0            # the event acts
+            for skipped in range(index, event):
+                assert (skipped + 1) % every != 0      # nothing before it does
+
+    def test_composite_period_takes_min(self):
+        strategy = NaiveDCStrategy(full_every=20, diff_every=6)
+        # From 0: first diff at index 5, first full at index 19.
+        assert strategy.next_event(0) == 5
+        assert strategy.next_event(6) == 11
+        # Right past diff index 17, the full at 19 is next.
+        assert strategy.next_event(18) == 19
+
+    def test_every_iteration_strategy_disables_fast_forward(self):
+        strategy = LowDiffStrategy(diff_every=1)
+        assert strategy.next_event(0) == 0
+        assert strategy.next_event(5) == 5
+
+    def test_fast_forward_skips_hook_calls(self):
+        calls = []
+
+        class Spy(NoCheckpoint):
+            def after_iteration(self, index):
+                calls.append(index)
+
+        workload = Workload.create("resnet50", cluster(), rho=0.01)
+        TrainingSim(workload, Spy()).run(100)
+        assert calls == []  # the whole run fast-forwarded past the hooks
+        TrainingSim(workload, Spy()).run(100, fast_forward=False)
+        assert calls == list(range(100))
+
+
+class TestResource:
+    def test_fifo_tie_start_equals_ready(self):
+        # max(ready, free_at) with ready == free_at starts at ready; the
+        # fast path's `<=` comparison reproduces this tie-break.
+        resource = Resource("ssd")
+        resource.schedule(0.0, 1.0)
+        start, end = resource.schedule(1.0, 2.0)
+        assert start == 1.0 and end == 3.0

@@ -21,6 +21,7 @@ pytest; both regenerate the JSON.
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import tempfile
@@ -29,8 +30,10 @@ import time
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.compression import TopKCompressor
 from repro.core.recovery import parallel_recover
+from repro.obs import OBS, MetricsRegistry
 from repro.optim import SGD
 from repro.storage import (
     AsyncCheckpointEngine,
@@ -55,6 +58,22 @@ CHAIN_LENGTHS = (8,) if QUICK else (8, 32, 64)
 READ_LATENCY_S = 0.002 if QUICK else 0.010
 MODEL_SPEC = (64, [128, 128], 16) if QUICK else (256, [512, 512], 64)
 RHO = 0.05
+
+#: All timings land in histograms on this registry via ``obs.timed``;
+#: reported numbers are read back from snapshots (best-of-N = histogram
+#: ``min``), and the async-engine section comes from a registry delta
+#: over the measured run — the JSON artifact is registry-sourced.
+BENCH_REGISTRY = MetricsRegistry()
+
+
+def timed_round(name: str, fn):
+    with obs.timed(name, registry=BENCH_REGISTRY):
+        result = fn()
+    return result
+
+
+def hist_min(name: str) -> float:
+    return BENCH_REGISTRY.snapshot()[f"{name}.s"]["min"]
 
 
 class SlowReadBackend(InMemoryBackend):
@@ -134,6 +153,9 @@ def measure_stall(tmpdir: str) -> dict:
     def run_async():
         store = CheckpointStore(LocalDiskBackend(os.path.join(tmpdir, "async")))
         engine = AsyncCheckpointEngine(store, num_writers=2, queue_depth=8)
+        # The engine section is read back as a registry delta over this
+        # run — the instrumented engine counts into the active registry.
+        before = OBS.registry.snapshot("ckpt.async.")
         stall = 0.0
         for step in range(ITERATIONS):
             compute_kernel()
@@ -145,13 +167,16 @@ def measure_stall(tmpdir: str) -> dict:
                 engine.save_diff(step, step, payloads[step])
             stall += time.perf_counter() - started
         engine.finalize()
-        return stall / ITERATIONS, engine.stats()
+        delta = OBS.registry.delta(before, "ckpt.async.")
+        return stall / ITERATIONS, delta, engine.stats()
 
     # Warm-up (page cache, buffer pools), then measure.
     run_sync()
-    sync_stall, _ = run_sync()
+    sync_stall = run_sync()[0]
+    BENCH_REGISTRY.observe("bench.stall.sync_per_iter.s", sync_stall)
     run_async()
-    async_stall, engine_stats = run_async()
+    async_stall, engine_delta, engine_stats = run_async()
+    BENCH_REGISTRY.observe("bench.stall.async_per_iter.s", async_stall)
     return {
         "iterations": ITERATIONS,
         "full_every_iters": FULL_EVERY,
@@ -160,10 +185,17 @@ def measure_stall(tmpdir: str) -> dict:
         "async_stall_s_per_iter": async_stall,
         "stall_reduction_x": sync_stall / async_stall,
         "engine": {
-            key: engine_stats[key]
-            for key in ("submitted", "committed", "high_watermark",
-                        "backpressure_stalls", "buffers_created",
-                        "buffers_reused", "snapshot_stalls")
+            "submitted": engine_delta.get("ckpt.async.submitted", 0),
+            "committed": engine_delta.get("ckpt.async.committed", 0),
+            "backpressure_stalls": engine_delta.get(
+                "ckpt.async.backpressure_stalls", 0),
+            "buffers_created": engine_delta.get(
+                "ckpt.async.buffer_pool.created", 0),
+            "buffers_reused": engine_delta.get(
+                "ckpt.async.buffer_pool.reused", 0),
+            "snapshot_stalls": engine_delta.get(
+                "ckpt.async.snapshot_stalls", 0),
+            "high_watermark": engine_stats["high_watermark"],
         },
     }
 
@@ -182,12 +214,12 @@ def populate_chain(chain_length: int) -> CheckpointStore:
     return store
 
 
-def recover_once(store: CheckpointStore, max_workers: int):
+def recover_once(store: CheckpointStore, max_workers: int, label: str):
     model, optimizer = make_states()
-    started = time.perf_counter()
-    result = parallel_recover(store, model, optimizer,
-                              max_workers=max_workers)
-    return time.perf_counter() - started, model.state_dict(), result
+    with obs.timed(label, registry=BENCH_REGISTRY):
+        result = parallel_recover(store, model, optimizer,
+                                  max_workers=max_workers)
+    return model.state_dict(), result
 
 
 def measure_recovery() -> dict:
@@ -195,12 +227,17 @@ def measure_recovery() -> dict:
     bit_exact = True
     for chain_length in CHAIN_LENGTHS:
         store = populate_chain(chain_length)
-        serial_s = min(recover_once(store, max_workers=1)[0]
-                       for _ in range(3))
-        threaded_s = min(recover_once(store, max_workers=8)[0]
-                         for _ in range(3))
-        _, serial_state, serial_result = recover_once(store, max_workers=1)
-        _, threaded_state, threaded_result = recover_once(store, max_workers=8)
+        serial_label = f"bench.recover.c{chain_length}.serial"
+        threaded_label = f"bench.recover.c{chain_length}.threaded"
+        for _ in range(3):
+            recover_once(store, max_workers=1, label=serial_label)
+            recover_once(store, max_workers=8, label=threaded_label)
+        serial_state, serial_result = recover_once(
+            store, max_workers=1, label=serial_label)
+        threaded_state, threaded_result = recover_once(
+            store, max_workers=8, label=threaded_label)
+        serial_s = hist_min(serial_label)
+        threaded_s = hist_min(threaded_label)
         for name in serial_state:
             if not np.array_equal(serial_state[name], threaded_state[name]):
                 bit_exact = False
@@ -232,9 +269,11 @@ def measure_serializer() -> dict:
     nbytes = len(pack_tree(tree))
     rounds = 5 if QUICK else 10
 
-    def throughput(fn):
-        best = min(_timed(fn) for _ in range(rounds))
-        return nbytes / best / 1e6
+    def throughput(label, fn):
+        for _ in range(rounds):
+            with obs.timed(label, registry=BENCH_REGISTRY):
+                fn()
+        return nbytes / hist_min(label) / 1e6
 
     buffer = bytearray()
 
@@ -242,14 +281,9 @@ def measure_serializer() -> dict:
         view, _ = pack_tree_into(tree, buffer)
         view.release()
 
-    def _timed(fn):
-        started = time.perf_counter()
-        fn()
-        return time.perf_counter() - started
-
     zero_copy()  # warm the buffer so steady state is measured
-    copy_mb_s = throughput(lambda: pack_tree(tree))
-    zero_copy_mb_s = throughput(zero_copy)
+    copy_mb_s = throughput("bench.pack.copy", lambda: pack_tree(tree))
+    zero_copy_mb_s = throughput("bench.pack.zero_copy", zero_copy)
     return {
         "container_mb": nbytes / 1e6,
         "copy_pack_mb_s": copy_mb_s,
@@ -258,17 +292,31 @@ def measure_serializer() -> dict:
     }
 
 
-def run_all() -> dict:
-    with tempfile.TemporaryDirectory() as tmpdir:
-        stall = measure_stall(tmpdir)
-    results = {
-        "benchmark": "async-persistence-pipeline",
-        "quick_mode": QUICK,
-        "cpu_count": os.cpu_count(),
-        "checkpoint_stall": stall,
-        "recovery": measure_recovery(),
-        "serializer": measure_serializer(),
-    }
+def run_all(trace_path: str | None = None,
+            metrics_path: str | None = None) -> dict:
+    # An obs capture around the whole run: the engine/recovery
+    # instrumentation feeds the registry the engine section reads, and
+    # the bench timings appear as spans on the same trace.
+    with obs.capture() as active:
+        with tempfile.TemporaryDirectory() as tmpdir:
+            stall = measure_stall(tmpdir)
+        results = {
+            "benchmark": "async-persistence-pipeline",
+            "quick_mode": QUICK,
+            "cpu_count": os.cpu_count(),
+            "checkpoint_stall": stall,
+            "recovery": measure_recovery(),
+            "serializer": measure_serializer(),
+        }
+        results["registry_metrics"] = BENCH_REGISTRY.snapshot()
+        if trace_path:
+            active.tracer.save(trace_path)
+        if metrics_path:
+            merged = active.registry.snapshot()
+            merged.update(BENCH_REGISTRY.snapshot())
+            with open(metrics_path, "w") as handle:
+                json.dump(merged, handle, indent=2, sort_keys=True)
+                handle.write("\n")
     with open(RESULT_PATH, "w") as handle:
         json.dump(results, handle, indent=2)
         handle.write("\n")
@@ -306,4 +354,11 @@ def test_zero_copy_serializer_not_slower(results):
 
 
 if __name__ == "__main__":
-    print(json.dumps(run_all(), indent=2))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome-trace JSON of the run")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="write the merged metrics snapshot JSON")
+    cli = parser.parse_args()
+    print(json.dumps(run_all(trace_path=cli.trace, metrics_path=cli.metrics),
+                     indent=2))

@@ -28,19 +28,26 @@ pytest; both regenerate the JSON.
 
 from __future__ import annotations
 
+import argparse
 import json
 import math
 import os
-import time
+import sys
 from dataclasses import fields
 
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.compression import TopKCompressor
-from repro.compression.sparse import KWAY_MERGE_STATS, DenseScratch, SparseGradient
+from repro.compression.sparse import (
+    KWAY_COUNTER_FALLBACK,
+    DenseScratch,
+    SparseGradient,
+)
 from repro.distributed import DataParallelTrainer, SyntheticClassification
 from repro.distributed.collectives import sparse_allreduce
+from repro.obs import OBS, MetricsRegistry
 from repro.optim import Adam, SGD
 from repro.sim.cluster import A100_CLUSTER
 from repro.sim.engine import TrainingSim
@@ -54,7 +61,7 @@ from repro.tensor.loss import CrossEntropyLoss
 from repro.tensor.models import MLP
 from repro.utils.rng import Rng
 
-QUICK = bool(os.environ.get("BENCH_QUICK"))
+QUICK = bool(os.environ.get("BENCH_QUICK")) or "--quick" in sys.argv
 # Quick (CI smoke) runs write to a scratch name so they never clobber the
 # committed full-mode artifact.
 RESULT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
@@ -88,8 +95,23 @@ DEDUP_HIDDEN = 64 if QUICK else 512
 DEDUP_STEPS = 4 if QUICK else 10
 
 
-def best_of(fn, repeats=REPEATS):
-    return min(fn() for _ in range(repeats))
+#: Every timing in this file lands in a histogram on this registry via
+#: ``obs.timed``; reported numbers are read back out of a snapshot
+#: (best-of-N = histogram ``min``), so the JSON artifact is
+#: registry-sourced end to end and the same numbers show up in
+#: ``python -m repro.obs.report --metrics``.
+BENCH_REGISTRY = MetricsRegistry()
+
+
+def timed_best(name: str, fn, repeats=REPEATS) -> float:
+    for _ in range(repeats):
+        with obs.timed(name, registry=BENCH_REGISTRY):
+            fn()
+    return BENCH_REGISTRY.snapshot()[f"{name}.s"]["min"]
+
+
+def hist_min(name: str) -> float:
+    return BENCH_REGISTRY.snapshot()[f"{name}.s"]["min"]
 
 
 # ---------------------------------------------------------------------------
@@ -117,15 +139,14 @@ def pairwise_fold(payloads):
 
 def measure_sparse_allreduce() -> dict:
     payloads = make_worker_payloads()
-    fallback_before = KWAY_MERGE_STATS["fallback"]
+    # The fallback guard reads the registry counter the k-way merge
+    # maintains (KWAY_MERGE_STATS is a thin view over the same counter).
+    fallback_before = OBS.registry.counter(KWAY_COUNTER_FALLBACK).value
 
-    def timed(fn):
-        started = time.perf_counter()
-        fn()
-        return time.perf_counter() - started
-
-    kway_s = best_of(lambda: timed(lambda: SparseGradient.merge_ordered(payloads)))
-    fold_s = best_of(lambda: timed(lambda: pairwise_fold(payloads)))
+    kway_s = timed_best("bench.kway_merge",
+                        lambda: SparseGradient.merge_ordered(payloads))
+    fold_s = timed_best("bench.pairwise_fold",
+                        lambda: pairwise_fold(payloads))
 
     fast = SparseGradient.merge_ordered(payloads)
     reference = pairwise_fold(payloads)
@@ -137,7 +158,8 @@ def measure_sparse_allreduce() -> dict:
     # The full collective (with averaging) must route through the k-way
     # path: any fallback here is a perf regression CI should catch.
     sparse_allreduce(payloads, average=True)
-    fallbacks = KWAY_MERGE_STATS["fallback"] - fallback_before
+    fallbacks = (OBS.registry.counter(KWAY_COUNTER_FALLBACK).value
+                 - fallback_before)
     return {
         "workers": ALLREDUCE_WORKERS,
         "params_per_worker": ALLREDUCE_TENSORS * int(np.prod(ALLREDUCE_TENSOR_SHAPE)),
@@ -166,7 +188,7 @@ def make_chain(model):
     ]
 
 
-def measure_replay_regime(optimizer_builder) -> dict:
+def measure_replay_regime(optimizer_builder, tag: str) -> dict:
     chain = make_chain(MLP(*REPLAY_MODEL, rng=Rng(0)))
 
     def replay(fused):
@@ -174,23 +196,22 @@ def measure_replay_regime(optimizer_builder) -> dict:
         optimizer = optimizer_builder(model)
         optimizer.fused = fused
         scratch = DenseScratch(chain[0].shapes) if fused else None
-        started = time.perf_counter()
-        for payload in chain:
-            grads = (payload.decompress_into(scratch) if fused
-                     else payload.decompress())
-            optimizer.step_with(grads)
-        return time.perf_counter() - started, model.state_dict()
+        label = f"bench.replay.{tag}.{'fast' if fused else 'reference'}"
+        with obs.timed(label, registry=BENCH_REGISTRY):
+            for payload in chain:
+                grads = (payload.decompress_into(scratch) if fused
+                         else payload.decompress())
+                optimizer.step_with(grads)
+        return model.state_dict()
 
     # Interleave fast/reference rounds so allocator state is comparable.
-    fast_times, reference_times = [], []
     for _ in range(REPLAY_REPEATS):
-        fast_s_round, fast_state = replay(True)
-        reference_s_round, reference_state = replay(False)
-        fast_times.append(fast_s_round)
-        reference_times.append(reference_s_round)
+        fast_state = replay(True)
+        reference_state = replay(False)
     bit_exact = all(np.array_equal(fast_state[name], reference_state[name])
                     for name in fast_state)
-    fast_s, reference_s = min(fast_times), min(reference_times)
+    fast_s = hist_min(f"bench.replay.{tag}.fast")
+    reference_s = hist_min(f"bench.replay.{tag}.reference")
     return {
         "chain_length": REPLAY_CHAIN,
         "reference_s": reference_s,
@@ -206,9 +227,9 @@ def measure_replay() -> dict:
         "params": sum(int(np.prod(p.shape)) for _, p in model.named_parameters()),
         "rho": REPLAY_RHO,
         "sgd_momentum": measure_replay_regime(
-            lambda m: SGD(m, lr=0.05, momentum=0.9)),
+            lambda m: SGD(m, lr=0.05, momentum=0.9), "sgd"),
         "adam": measure_replay_regime(
-            lambda m: Adam(m, lr=1e-3, weight_decay=0.01)),
+            lambda m: Adam(m, lr=1e-3, weight_decay=0.01), "adam"),
     }
 
 
@@ -239,15 +260,13 @@ def measure_sim_sweep() -> dict:
     ]
 
     def sweep(fast_forward):
-        started = time.perf_counter()
         for interval in intervals:
             for make in sweep_arms(interval):
                 TrainingSim(workload, make()).run(
                     SWEEP_ITERATIONS, fast_forward=fast_forward)
-        return time.perf_counter() - started
 
-    slow_s = best_of(lambda: sweep(False))
-    fast_s = best_of(lambda: sweep(True))
+    slow_s = timed_best("bench.sim_sweep.per_iteration", lambda: sweep(False))
+    fast_s = timed_best("bench.sim_sweep.fast_forward", lambda: sweep(True))
 
     bit_identical = True
     for make in sweep_arms(intervals[0]):
@@ -289,23 +308,24 @@ def measure_dedup() -> dict:
         trainer = make_trainer(dedup)
         for _ in range(2):              # warm-up (scratch + allocator)
             trainer.step()
-        started = time.perf_counter()
-        for _ in range(DEDUP_STEPS):
-            trainer.step()
-        return time.perf_counter() - started, trainer
+        label = f"bench.dedup.{'dedup' if dedup else 'recompute'}"
+        with obs.timed(label, registry=BENCH_REGISTRY):
+            for _ in range(DEDUP_STEPS):
+                trainer.step()
+        return trainer
 
-    recompute_times, dedup_times = [], []
     for _ in range(REPEATS):
-        recompute_times.append(run(False)[0])
-        dedup_times.append(run(True)[0])
-    _, reference = run(False)
-    _, deduped = run(True)
+        run(False)
+        run(True)
+    reference = run(False)
+    deduped = run(True)
     bit_exact = all(
         np.array_equal(reference.model_state()[name],
                        deduped.model_state()[name])
         for name in reference.model_state()
     )
-    recompute_s, dedup_s = min(recompute_times), min(dedup_times)
+    recompute_s = hist_min("bench.dedup.recompute")
+    dedup_s = hist_min("bench.dedup.dedup")
     return {
         "workers": DEDUP_WORKERS,
         "steps": DEDUP_STEPS,
@@ -318,18 +338,33 @@ def measure_dedup() -> dict:
     }
 
 
-def run_all() -> dict:
-    # Replay first: recovery runs in a freshly started process in real
-    # life, so it gets first claim on a cold allocator here too.
-    results = {
-        "benchmark": "vectorized-hot-path",
-        "quick_mode": QUICK,
-        "cpu_count": os.cpu_count(),
-        "recovery_replay": measure_replay(),
-        "sparse_allreduce": measure_sparse_allreduce(),
-        "sim_mtbf_sweep": measure_sim_sweep(),
-        "dedup_updates": measure_dedup(),
-    }
+def run_all(trace_path: str | None = None,
+            metrics_path: str | None = None) -> dict:
+    # The whole benchmark runs under an obs capture: instrumented paths
+    # (trainer spans, sim registry mirror, k-way counters) emit into
+    # fresh sinks, and the bench timings themselves appear as spans on
+    # the same trace.
+    with obs.capture() as active:
+        # Replay first: recovery runs in a freshly started process in real
+        # life, so it gets first claim on a cold allocator here too.
+        results = {
+            "benchmark": "vectorized-hot-path",
+            "quick_mode": QUICK,
+            "cpu_count": os.cpu_count(),
+            "recovery_replay": measure_replay(),
+            "sparse_allreduce": measure_sparse_allreduce(),
+            "sim_mtbf_sweep": measure_sim_sweep(),
+            "dedup_updates": measure_dedup(),
+        }
+        results["registry_metrics"] = BENCH_REGISTRY.snapshot()
+        if trace_path:
+            active.tracer.save(trace_path)
+        if metrics_path:
+            merged = active.registry.snapshot()
+            merged.update(BENCH_REGISTRY.snapshot())
+            with open(metrics_path, "w") as handle:
+                json.dump(merged, handle, indent=2, sort_keys=True)
+                handle.write("\n")
     with open(RESULT_PATH, "w") as handle:
         json.dump(results, handle, indent=2)
         handle.write("\n")
@@ -383,4 +418,13 @@ def test_dedup_is_bit_exact(results):
 
 
 if __name__ == "__main__":
-    print(json.dumps(run_all(), indent=2))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke sizes (same as BENCH_QUICK=1)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome-trace JSON of the run")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="write the merged metrics snapshot JSON")
+    cli = parser.parse_args()
+    print(json.dumps(run_all(trace_path=cli.trace, metrics_path=cli.metrics),
+                     indent=2))

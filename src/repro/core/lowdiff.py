@@ -30,6 +30,7 @@ from repro.core.recovery import (
     serial_recover,
 )
 from repro.core.reusing_queue import QueueClosed, ReusingQueue
+from repro.obs import OBS, span as obs_span
 from repro.storage.async_engine import AsyncCheckpointEngine
 from repro.storage.checkpoint_store import CheckpointStore
 
@@ -157,18 +158,23 @@ class LowDiffCheckpointer:
         # state after s-1 steps yields the state after s steps.
         self.queue.put(iteration + 1, payload)
         self.diff_checkpoints_enqueued += 1
+        if OBS.enabled:
+            OBS.registry.counter("ckpt.diff.enqueued").inc()
 
     def _on_post_update(self, iteration: int) -> None:
         step = iteration + 1
         if step % self.config.full_every_iters == 0:
-            snapshot = FullSnapshot(
-                step=step,
-                model_state=self._trainer.model_state(),
-                optimizer_state=self._trainer.optimizer_state(),
-            )
-            # Travels through the same FIFO queue, so every differential of
-            # an earlier step persists before (or with) this full.
-            self.queue.put(step + 0.5, snapshot)  # between step and step+1
+            with obs_span("full_snapshot", "ckpt", {"step": step}):
+                snapshot = FullSnapshot(
+                    step=step,
+                    model_state=self._trainer.model_state(),
+                    optimizer_state=self._trainer.optimizer_state(),
+                )
+                # Travels through the same FIFO queue, so every differential
+                # of an earlier step persists before (or with) this full.
+                self.queue.put(step + 0.5, snapshot)  # between step and step+1
+            if OBS.enabled:
+                OBS.registry.counter("ckpt.full.snapshots").inc()
         if not self.async_mode:
             self._drain_available()
         self._check_worker()
@@ -176,10 +182,13 @@ class LowDiffCheckpointer:
     # Checkpointing side -------------------------------------------------------
     def _process_item(self, step, item) -> None:
         if isinstance(item, FullSnapshot):
-            self.writer.flush()
-            self._persist.save_full(item.step, item.model_state,
-                                    item.optimizer_state)
+            with obs_span("persist_full", "ckpt", {"step": item.step}):
+                self.writer.flush()
+                self._persist.save_full(item.step, item.model_state,
+                                        item.optimizer_state)
             self.full_checkpoints += 1
+            if OBS.enabled:
+                OBS.registry.counter("ckpt.full.persisted").inc()
         else:
             self.writer.submit(int(step), item)
 

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.lowdiff import FullSnapshot, _copy_tree
 from repro.core.recovery import RecoveryResult, serial_recover
+from repro.obs import OBS, span as obs_span
 from repro.optim.optimizer import Optimizer
 from repro.storage.async_engine import AsyncCheckpointEngine
 from repro.storage.checkpoint_store import CheckpointStore
@@ -166,6 +167,10 @@ class LowDiffPlusCheckpointer:
             snapshot = np.array(grad, dtype=np.float64, copy=True)  # GPU→CPU copy
             self.snapshot_bytes += snapshot.nbytes
             self._assembling[param_name] = snapshot
+            if OBS.enabled:
+                OBS.registry.counter("ckpt.plus.layer_snapshots").inc()
+                OBS.registry.counter("ckpt.plus.layer_snapshot_bytes").inc(
+                    snapshot.nbytes)
 
     # CPU update + persistence (Algorithm 2 lines 12-13) ---------------------------
     def _on_post_update(self, iteration: int) -> None:
@@ -178,31 +183,47 @@ class LowDiffPlusCheckpointer:
                 f"iteration {iteration} ended with unsnapshotted layers: "
                 f"{sorted(missing)[:3]}..."
             )
-        self.replica.apply_gradients(self._assembling)
+        with obs_span("replica_update", "ckpt", {"iteration": iteration}):
+            self.replica.apply_gradients(self._assembling)
         self._assembling = {}
         self._layer_arrivals.clear()
         self.in_memory_checkpoints += 1
+        if OBS.enabled:
+            OBS.registry.counter("ckpt.plus.in_memory").inc()
         step = iteration + 1
         if step % self.persist_every == 0:
-            self._persist(self.replica.snapshot())
+            with obs_span("persist", "ckpt", {"step": step}):
+                self._persist(self.replica.snapshot())
         self._check_persist_error()
 
     def _persist(self, snapshot: FullSnapshot) -> None:
         if self.engine is not None:
             if self.engine.would_block():
                 self.persist_skips += 1  # previous persists still in flight
+                if OBS.enabled:
+                    OBS.registry.counter("ckpt.plus.persist_skips").inc()
+                    OBS.tracer.instant("persist-skip", "ckpt",
+                                       {"step": snapshot.step})
                 return
             self.engine.save_full(snapshot.step, snapshot.model_state,
                                   snapshot.optimizer_state)
             self.persisted_checkpoints += 1
+            if OBS.enabled:
+                OBS.registry.counter("ckpt.plus.persisted").inc()
             return
         if not self.async_persist:
             self.store.save_full(snapshot.step, snapshot.model_state,
                                  snapshot.optimizer_state)
             self.persisted_checkpoints += 1
+            if OBS.enabled:
+                OBS.registry.counter("ckpt.plus.persisted").inc()
             return
         if self._persist_thread is not None and self._persist_thread.is_alive():
             self.persist_skips += 1  # previous persist still in flight
+            if OBS.enabled:
+                OBS.registry.counter("ckpt.plus.persist_skips").inc()
+                OBS.tracer.instant("persist-skip", "ckpt",
+                                   {"step": snapshot.step})
             return
         # The snapshot dicts are fresh copies (state_dict copies), safe to
         # hand to the writer thread while training continues.

@@ -33,6 +33,7 @@ from functools import reduce
 
 from repro.compression.sparse import DenseScratch
 from repro.core.differential import StateDelta, apply_state_delta
+from repro.obs import OBS, span as obs_span
 from repro.optim.optimizer import Optimizer
 from repro.storage.checkpoint_store import CheckpointStore
 from repro.storage.serializer import CorruptCheckpointError
@@ -195,7 +196,8 @@ def serial_recover(store: CheckpointStore, model: Module, optimizer: Optimizer,
     Streams records lazily; the first unreadable diff truncates the chain
     (the state is already bit-exact at the last applied step).
     """
-    full_step, fulls_skipped = _load_base(store, model, optimizer)
+    with obs_span("recover.load_full", "recovery"):
+        full_step, fulls_skipped = _load_base(store, model, optimizer)
     loaded = 0
     gradients = 0
     truncated = 0
@@ -207,13 +209,19 @@ def serial_recover(store: CheckpointStore, model: Module, optimizer: Optimizer,
             store.quarantine(record)
             truncated = 1
             break
-        _apply_payload(model, optimizer, payload, scratch)
+        with obs_span("recover.replay_diff", "recovery",
+                      {"start": record.start, "end": record.end,
+                       "count": record.count}):
+            _apply_payload(model, optimizer, payload, scratch)
         if not isinstance(payload, StateDelta) and record.count > 1:
             # A batched record represents `count` training steps; keep the
             # step counter (and thus LR schedules) aligned with training.
             optimizer.step_count += record.count - 1
         gradients += record.count
         loaded += 1
+    if OBS.enabled:
+        OBS.registry.counter("recover.serial.runs").inc()
+        OBS.registry.counter("recover.diffs_replayed").inc(loaded)
     return RecoveryResult(
         step=optimizer.step_count,
         full_step=full_step,
@@ -242,11 +250,14 @@ def parallel_recover(store: CheckpointStore, model: Module, optimizer: Optimizer
     """
     if max_workers is None:
         max_workers = min(8, os.cpu_count() or 2)
-    full_step, fulls_skipped = _load_base(store, model, optimizer)
+    with obs_span("recover.load_full", "recovery"):
+        full_step, fulls_skipped = _load_base(store, model, optimizer)
     executor = ThreadPoolExecutor(max_workers=max_workers) \
         if max_workers > 1 else None
     try:
-        records, payloads, truncated = _load_chain(store, full_step, executor)
+        with obs_span("recover.load_chain", "recovery"):
+            records, payloads, truncated = _load_chain(store, full_step,
+                                                       executor)
         if not records:
             return RecoveryResult(
                 step=optimizer.step_count, full_step=full_step, diffs_loaded=0,
@@ -261,11 +272,13 @@ def parallel_recover(store: CheckpointStore, model: Module, optimizer: Optimizer
         while len(level) > 1:
             pairs = [(level[index], level[index + 1])
                      for index in range(0, len(level) - 1, 2)]
-            if executor is not None and len(pairs) > 1:
-                next_level = list(executor.map(
-                    lambda pair: pair[0].add(pair[1]), pairs))
-            else:
-                next_level = [left.add(right) for left, right in pairs]
+            with obs_span("recover.merge_level", "recovery",
+                          {"level": depth, "pairs": len(pairs)}):
+                if executor is not None and len(pairs) > 1:
+                    next_level = list(executor.map(
+                        lambda pair: pair[0].add(pair[1]), pairs))
+                else:
+                    next_level = [left.add(right) for left, right in pairs]
             merge_ops += len(pairs)
             if len(level) % 2:
                 next_level.append(level[-1])
@@ -275,17 +288,24 @@ def parallel_recover(store: CheckpointStore, model: Module, optimizer: Optimizer
     finally:
         if executor is not None:
             executor.shutdown(wait=True)
-    if isinstance(merged, StateDelta):
-        _apply_payload(model, optimizer, merged)
-    else:
-        # One accumulated optimizer application; advance the step counter to
-        # reflect the represented gradients so schedules resume correctly.
-        if hasattr(merged, "decompress_into"):
-            optimizer.step_with(
-                merged.decompress_into(_ReplayScratch().buffers_for(merged)))
+    with obs_span("recover.apply_merged", "recovery",
+                  {"gradients": gradients}):
+        if isinstance(merged, StateDelta):
+            _apply_payload(model, optimizer, merged)
         else:
-            optimizer.step_with(merged.decompress())
-        optimizer.step_count += gradients - 1
+            # One accumulated optimizer application; advance the step counter
+            # to reflect the represented gradients so schedules resume
+            # correctly.
+            if hasattr(merged, "decompress_into"):
+                optimizer.step_with(
+                    merged.decompress_into(
+                        _ReplayScratch().buffers_for(merged)))
+            else:
+                optimizer.step_with(merged.decompress())
+            optimizer.step_count += gradients - 1
+    if OBS.enabled:
+        OBS.registry.counter("recover.parallel.runs").inc()
+        OBS.registry.counter("recover.diffs_replayed").inc(len(records))
     return RecoveryResult(
         step=optimizer.step_count,
         full_step=full_step,

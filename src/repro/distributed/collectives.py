@@ -9,24 +9,55 @@ size claims and the simulator uses for calibration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from functools import reduce
 
 import numpy as np
 
 from repro.compression.sparse import SparseGradient
+from repro.obs import OBS
+from repro.obs.metrics import MetricsRegistry
 
 
-@dataclass
 class CommStats:
-    """Accumulated communication accounting, per primitive."""
+    """Accumulated communication accounting, per primitive.
 
-    bytes_by_op: dict[str, int] = field(default_factory=dict)
-    calls_by_op: dict[str, int] = field(default_factory=dict)
+    Migrated onto :class:`~repro.obs.metrics.MetricsRegistry`: every
+    instance owns a registry holding ``comm.<op>.bytes`` /
+    ``comm.<op>.calls`` counters (instances stay independent, as the
+    per-trainer accounting tests require), and the historical
+    ``bytes_by_op`` / ``calls_by_op`` dicts survive as thin read views.
+    When observability is enabled the same increments are mirrored into
+    the process-global registry, so one snapshot covers every trainer.
+    """
+
+    __slots__ = ("registry",)
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
 
     def record(self, op: str, nbytes: int) -> None:
-        self.bytes_by_op[op] = self.bytes_by_op.get(op, 0) + int(nbytes)
-        self.calls_by_op[op] = self.calls_by_op.get(op, 0) + 1
+        nbytes = int(nbytes)
+        self.registry.counter(f"comm.{op}.bytes").inc(nbytes)
+        self.registry.counter(f"comm.{op}.calls").inc()
+        if OBS.enabled and OBS.registry is not self.registry:
+            OBS.registry.counter(f"comm.{op}.bytes").inc(nbytes)
+            OBS.registry.counter(f"comm.{op}.calls").inc()
+
+    def _by_suffix(self, suffix: str) -> dict[str, int]:
+        out = {}
+        for name in self.registry.names("comm."):
+            if name.endswith(suffix):
+                op = name[len("comm."):-len(suffix)]
+                out[op] = self.registry.counter(name).value
+        return out
+
+    @property
+    def bytes_by_op(self) -> dict[str, int]:
+        return self._by_suffix(".bytes")
+
+    @property
+    def calls_by_op(self) -> dict[str, int]:
+        return self._by_suffix(".calls")
 
     @property
     def total_bytes(self) -> int:

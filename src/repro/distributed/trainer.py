@@ -28,6 +28,7 @@ from repro.distributed.collectives import (
     sparse_allreduce,
 )
 from repro.distributed.worker import SimWorker
+from repro.obs import OBS
 from repro.optim.optimizer import Optimizer
 from repro.tensor.module import Module
 from repro.utils.rng import Rng
@@ -149,47 +150,88 @@ class DataParallelTrainer:
 
     # Training -----------------------------------------------------------------
     def step(self) -> IterationRecord:
-        """Run one synchronous data-parallel iteration."""
+        """Run one synchronous data-parallel iteration.
+
+        Instrumented per phase (forward+backward / compress / allreduce /
+        decompress / hooks / step) through the obs layer; with
+        observability disabled each phase boundary costs one branch.
+        """
         iteration = self.iteration
         bytes_before = self.comm_stats.total_bytes
         for capture in self._layer_capture:
             capture.clear()
 
+        obs_on = OBS.enabled
+        if obs_on:
+            tracer = OBS.tracer
+            tracer.begin("iteration", "train", {"iteration": iteration})
+            tracer.begin("forward_backward", "train")
         local_grads = [worker.local_gradients(iteration) for worker in self.workers]
+        if obs_on:
+            tracer.end()
         self._fire_layer_hooks(iteration)
 
         if self.compressors is not None:
+            if obs_on:
+                tracer.begin("compress", "train")
             payloads = [
                 compressor.compress(grads)
                 for compressor, grads in zip(self.compressors, local_grads)
             ]
+            if obs_on:
+                tracer.end()
+                tracer.begin("allreduce", "train")
             synced: CompressedGradient = sparse_allreduce(
                 payloads, average=True, stats=self.comm_stats
             ) if hasattr(payloads[0], "entries") else self._dense_mean_payload(payloads)
+            if obs_on:
+                tracer.end()
+                tracer.begin("decompress", "train")
             update_grads = self._decompress_synced(synced)
+            if obs_on:
+                tracer.end()
         else:
+            if obs_on:
+                tracer.begin("allreduce", "train")
             mean = allreduce_mean(local_grads, stats=self.comm_stats)
             synced = DenseGradient(mean)
             update_grads = mean
+            if obs_on:
+                tracer.end()
 
+        if obs_on:
+            tracer.begin("synced_hooks", "train")
         for hook in self._synced_hooks:
             hook(iteration, synced)
-
+        if obs_on:
+            tracer.end()
+            tracer.begin("step", "train")
         if self.dedup_updates and self.num_workers > 1:
             self._apply_update_deduped(update_grads)
         else:
             for worker in self.workers:
                 worker.apply_update(update_grads)
+        if obs_on:
+            tracer.end()
+            tracer.begin("update_hooks", "train")
         for hook in self._update_hooks:
             hook(iteration)
+        if obs_on:
+            tracer.end()
 
         self.iteration += 1
         loss = float(np.mean([worker.last_loss for worker in self.workers]))
+        comm_bytes = self.comm_stats.total_bytes - bytes_before
+        if obs_on:
+            tracer.end()  # iteration
+            registry = OBS.registry
+            registry.counter("train.iterations").inc()
+            registry.counter("train.comm_bytes").inc(comm_bytes)
         return IterationRecord(
             iteration=iteration,
             loss=loss,
             payload=synced,
-            comm_bytes=self.comm_stats.total_bytes - bytes_before,
+            comm_bytes=comm_bytes,
         )
 
     def _decompress_synced(self, synced: CompressedGradient) -> dict[str, np.ndarray]:

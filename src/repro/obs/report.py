@@ -1,0 +1,184 @@
+"""Render obs artifacts: per-phase tables + effective-time breakdown.
+
+``python -m repro.obs.report trace.json [--metrics metrics.json]`` turns
+a Chrome-trace dump (from :class:`repro.obs.trace.Tracer`) and/or a
+metrics snapshot (from :meth:`repro.obs.metrics.MetricsRegistry.snapshot`)
+into the numbers the paper reports: where the time went per phase and
+per track, and the effective-training-time ratio — the fraction of
+wall-clock not attributed to checkpointing stalls (comparable to the
+Gemini-style metric of Exps. 9-10).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Event categories counted as checkpointing overhead when computing the
+#: effective-time ratio (time on the training track the job would not
+#: have spent without checkpointing).
+OVERHEAD_CATEGORIES = frozenset({"stall", "ckpt", "checkpoint"})
+
+
+def load_json(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def summarize_trace(trace: dict) -> dict:
+    """Aggregate a Chrome-trace container into per-track phase totals."""
+    events = trace.get("traceEvents", trace if isinstance(trace, list) else [])
+    track_names: dict[tuple, str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            track_names[(event.get("pid", 0), event.get("tid", 0))] = \
+                event["args"]["name"]
+    complete = [e for e in events if e.get("ph") == "X"]
+    if not complete:
+        return {"wall_s": 0.0, "tracks": {}, "effective_ratio": None,
+                "overhead_s": 0.0, "event_count": len(events)}
+    begin = min(e["ts"] for e in complete)
+    finish = max(e["ts"] + e.get("dur", 0.0) for e in complete)
+    wall_s = (finish - begin) / 1e6
+
+    tracks: dict[str, dict] = {}
+    for event in complete:
+        key = (event.get("pid", 0), event.get("tid", 0))
+        track = track_names.get(key, f"tid{key[1]}")
+        phases = tracks.setdefault(track, {})
+        entry = phases.setdefault(
+            (event["name"], event.get("cat", "")),
+            {"count": 0, "total_s": 0.0})
+        entry["count"] += 1
+        entry["total_s"] += event.get("dur", 0.0) / 1e6
+
+    # The training track anchors the effective-time ratio: prefer the
+    # track carrying train-phase or stall events, else the busiest one.
+    def track_score(item):
+        name, phases = item
+        has_train = any(cat in ("train", "stall") for _, cat in phases)
+        busy = sum(entry["total_s"] for entry in phases.values())
+        return (has_train, busy)
+
+    primary = max(tracks.items(), key=track_score)[0] if tracks else None
+    overhead_s = sum(
+        entry["total_s"]
+        for (name, cat), entry in tracks.get(primary, {}).items()
+        if cat in OVERHEAD_CATEGORIES
+    )
+    effective = (wall_s - overhead_s) / wall_s if wall_s > 0 else None
+    return {
+        "wall_s": wall_s,
+        "tracks": tracks,
+        "primary_track": primary,
+        "overhead_s": overhead_s,
+        "effective_ratio": effective,
+        "event_count": len(events),
+    }
+
+
+def render_trace(summary: dict, top: int = 0) -> str:
+    lines = []
+    lines.append(f"trace: {summary['event_count']} events, "
+                 f"wall {summary['wall_s'] * 1e3:.3f} ms")
+    for track in sorted(summary["tracks"]):
+        phases = summary["tracks"][track]
+        lines.append("")
+        lines.append(f"track {track!r}")
+        lines.append(f"  {'phase':<32} {'cat':<10} {'count':>8} "
+                     f"{'total ms':>12} {'mean ms':>10} {'% wall':>8}")
+        ordered = sorted(phases.items(),
+                         key=lambda item: -item[1]["total_s"])
+        if top:
+            ordered = ordered[:top]
+        for (name, cat), entry in ordered:
+            total_ms = entry["total_s"] * 1e3
+            mean_ms = total_ms / entry["count"]
+            share = (100.0 * entry["total_s"] / summary["wall_s"]
+                     if summary["wall_s"] else 0.0)
+            lines.append(f"  {name:<32} {cat:<10} {entry['count']:>8} "
+                         f"{total_ms:>12.3f} {mean_ms:>10.4f} {share:>7.2f}%")
+    lines.append("")
+    lines.append("effective-training-time breakdown")
+    lines.append(f"  primary track:        {summary['primary_track']!r}")
+    lines.append(f"  wall time:            {summary['wall_s'] * 1e3:.3f} ms")
+    lines.append(f"  checkpoint-attributed overhead "
+                 f"({'/'.join(sorted(OVERHEAD_CATEGORIES))}): "
+                 f"{summary['overhead_s'] * 1e3:.3f} ms")
+    if summary["effective_ratio"] is not None:
+        lines.append(f"  effective time ratio: "
+                     f"{summary['effective_ratio']:.6f}")
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: dict) -> str:
+    """Group a flat metrics snapshot by its leading name component."""
+    groups: dict[str, list] = {}
+    for name in sorted(snapshot):
+        groups.setdefault(name.split(".", 1)[0], []).append(name)
+    lines = ["metrics snapshot"]
+    for group in sorted(groups):
+        lines.append(f"  [{group}]")
+        for name in groups[group]:
+            value = snapshot[name]
+            if isinstance(value, dict):   # histogram
+                count, total = value.get("count", 0), value.get("sum", 0.0)
+                mean = total / count if count else 0.0
+                lines.append(
+                    f"    {name:<44} count={count} sum={total:.6g} "
+                    f"mean={mean:.6g} min={value.get('min')} "
+                    f"max={value.get('max')}")
+            else:
+                lines.append(f"    {name:<44} {value}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render an obs trace and/or metrics snapshot as "
+                    "per-phase tables and an effective-time breakdown.")
+    parser.add_argument("trace", nargs="?", default=None,
+                        help="Chrome-trace JSON written by Tracer.save()")
+    parser.add_argument("--metrics", default=None,
+                        help="metrics snapshot JSON "
+                             "(MetricsRegistry.snapshot())")
+    parser.add_argument("--top", type=int, default=0,
+                        help="show only the N most expensive phases per track")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the aggregated summary as JSON instead "
+                             "of tables")
+    args = parser.parse_args(argv)
+    if args.trace is None and args.metrics is None:
+        parser.error("provide a trace file and/or --metrics")
+
+    out: dict = {}
+    sections: list[str] = []
+    if args.trace is not None:
+        summary = summarize_trace(load_json(args.trace))
+        out["trace"] = {
+            "wall_s": summary["wall_s"],
+            "overhead_s": summary["overhead_s"],
+            "effective_ratio": summary["effective_ratio"],
+            "primary_track": summary["primary_track"],
+            "phases": {
+                track: {name: entry for (name, _), entry in phases.items()}
+                for track, phases in summary["tracks"].items()
+            },
+        }
+        sections.append(render_trace(summary, top=args.top))
+    if args.metrics is not None:
+        snapshot = load_json(args.metrics)
+        out["metrics"] = snapshot
+        sections.append(render_metrics(snapshot))
+
+    if args.json:
+        print(json.dumps(out, indent=2, sort_keys=True))
+    else:
+        print("\n\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

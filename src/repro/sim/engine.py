@@ -16,25 +16,35 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import OBS
 from repro.sim.workload import Workload
 
 
 class Resource:
-    """A serial FIFO channel (one transfer at a time, back-to-back)."""
+    """A serial FIFO channel (one transfer at a time, back-to-back).
 
-    def __init__(self, name: str):
+    With a ``tracer`` attached (by :class:`TrainingSim`), labelled
+    operations become Chrome-trace complete events on a track named after
+    the channel, timestamped by the sim's virtual clock — so sim traces
+    are deterministic and bit-reproducible across runs.
+    """
+
+    def __init__(self, name: str, tracer=None):
         self.name = name
+        self.tracer = tracer
         self.free_at = 0.0
         self.busy_time = 0.0
         self.bytes_moved = 0.0
         self.op_count = 0
 
-    def schedule(self, ready: float, duration: float, nbytes: float = 0.0
+    def schedule(self, ready: float, duration: float, nbytes: float = 0.0,
+                 label: str | None = None, category: str | None = None
                  ) -> tuple[float, float]:
         """Enqueue an operation that becomes ready at ``ready``.
 
         Returns ``(start, end)``; the channel serves FIFO, so the op starts
-        at ``max(ready, free_at)``.
+        at ``max(ready, free_at)``.  With both a tracer attached and a
+        ``label`` given, the operation is emitted on this channel's track.
         """
         if duration < 0:
             raise ValueError(f"negative duration on {self.name}: {duration}")
@@ -44,6 +54,10 @@ class Resource:
         self.busy_time += duration
         self.bytes_moved += nbytes
         self.op_count += 1
+        if self.tracer is not None and label is not None:
+            self.tracer.complete_at(
+                label, start, duration, track=f"sim.{self.name}",
+                category=category, args={"nbytes": nbytes} if nbytes else None)
         return start, end
 
     def backlog(self, now: float) -> float:
@@ -89,14 +103,18 @@ class TrainingSim:
     *relative* numbers the paper reports come out of the stalls alone.
     """
 
-    def __init__(self, workload: Workload, strategy):
+    def __init__(self, workload: Workload, strategy, tracer=None):
         self.workload = workload
         self.strategy = strategy
+        #: Optional :class:`repro.obs.trace.Tracer` driven exclusively by
+        #: the sim's virtual clock (explicit-timestamp API), so two
+        #: identical runs produce byte-identical trace JSON.
+        self.tracer = tracer
         cluster = workload.cluster
-        self.pcie = Resource("pcie")
-        self.ssd = Resource("ssd")
-        self.network = Resource("network")
-        self.cpu = Resource("cpu")
+        self.pcie = Resource("pcie", tracer=tracer)
+        self.ssd = Resource("ssd", tracer=tracer)
+        self.network = Resource("network", tracer=tracer)
+        self.cpu = Resource("cpu", tracer=tracer)
         self.now = 0.0
         self._stalls: dict[str, float] = {}
         strategy.bind(self)
@@ -113,6 +131,10 @@ class TrainingSim:
             raise ValueError(f"negative stall: {seconds}")
         if seconds == 0.0:
             return
+        if self.tracer is not None:
+            self.tracer.complete_at(
+                f"stall:{cause}", self.now + self._pending_stall, seconds,
+                track="sim.train", category="stall")
         self._stalls[cause] = self._stalls.get(cause, 0.0) + seconds
         self._pending_stall += seconds
 
@@ -203,7 +225,7 @@ class TrainingSim:
         self.now += self._pending_stall
         stall_total = sum(self._stalls.values())
         wall = self.now if self.now > 0 else 1.0
-        return SimResult(
+        result = SimResult(
             iterations=iterations,
             total_time=self.now,
             compute_time=base * iterations,
@@ -218,6 +240,17 @@ class TrainingSim:
                 for resource in (self.pcie, self.ssd, self.network, self.cpu)
             },
         )
+        if OBS.enabled:
+            registry = OBS.registry
+            registry.set("sim.iterations", iterations)
+            registry.set("sim.total_time_s", result.total_time)
+            registry.set("sim.stall_time_s", result.stall_time)
+            registry.set("sim.bytes_to_storage", result.bytes_to_storage)
+            for cause, seconds in result.stalls_by_cause.items():
+                registry.set(f"sim.stall.{cause}.s", seconds)
+            for key, value in result.checkpoint_counts.items():
+                registry.set(f"sim.checkpoints.{key}", value)
+        return result
 
     def _advance_idle(self, count: int, base: float, sync_bytes: float,
                       sync_duration: float) -> None:
@@ -246,6 +279,10 @@ class TrainingSim:
         more than it saves, so short gaps take a scalar loop with the
         same operation sequence.
         """
+        if self.tracer is not None:
+            self.tracer.instant_at("fast-forward", self.now,
+                                   track="sim.train",
+                                   args={"iterations": count})
         if count < self._VECTOR_THRESHOLD:
             now = self.now
             if not sync_bytes:

@@ -125,7 +125,8 @@ class CheckpointStrategy:
             self.persist_retry_time_s += extra
             time_s += extra
             self.count("persist_faulted")
-        resource.schedule(self.sim.now, time_s, nbytes=nbytes)
+        resource.schedule(self.sim.now, time_s, nbytes=nbytes,
+                          label="persist", category="ckpt")
 
     @staticmethod
     def _overlapped_stall(persist_seconds: float, compute_gap_s: float) -> float:

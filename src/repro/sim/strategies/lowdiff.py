@@ -63,7 +63,8 @@ class LowDiffStrategy(CheckpointStrategy):
                 sim.stall("queue-copy", payload / workload.cost.queue_copy_bandwidth)
             # Checkpointing side, off the critical path: offload + batch.
             sim.pcie.schedule(sim.now, workload.snapshot_time(payload),
-                              nbytes=payload)
+                              nbytes=payload, label="offload",
+                              category="ckpt")
             self._in_batch += 1
             if self._in_batch >= self.batch_size:
                 batched = workload.batched_diff_bytes(self.batch_size)
@@ -95,7 +96,9 @@ class LowDiffStrategy(CheckpointStrategy):
         if step % self.full_every == 0:
             size = workload.full_checkpoint_bytes
             sim.stall("full-snapshot", self._snapshot_exposed(size))
-            sim.pcie.schedule(sim.now, workload.snapshot_time(size), nbytes=size)
+            sim.pcie.schedule(sim.now, workload.snapshot_time(size),
+                              nbytes=size, label="full-snapshot",
+                              category="ckpt")
             self._schedule_persist(size)
             self.count("full")
 

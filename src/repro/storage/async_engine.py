@@ -49,6 +49,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs import OBS, span as obs_span
 from repro.storage.checkpoint_store import CheckpointStore
 from repro.storage.payload_codec import payload_to_tree
 from repro.storage.serializer import pack_tree_into
@@ -78,13 +79,19 @@ class BufferPool:
         with self._lock:
             if self._free:
                 self.reused += 1
+                hit = True
                 buffer = self._free.pop()
             else:
                 self.created += 1
+                hit = False
                 buffer = bytearray()
             self.outstanding += 1
             self.peak_outstanding = max(self.peak_outstanding, self.outstanding)
-            return buffer
+        if OBS.enabled:
+            OBS.registry.counter(
+                "ckpt.async.buffer_pool.reused" if hit
+                else "ckpt.async.buffer_pool.created").inc()
+        return buffer
 
     def release(self, buffer: bytearray) -> None:
         with self._lock:
@@ -133,7 +140,12 @@ class SnapshotStager:
                 started = time.perf_counter()
                 while not self._free:
                     self._cond.wait()
-                self.stall_time_s += time.perf_counter() - started
+                waited = time.perf_counter() - started
+                self.stall_time_s += waited
+                if OBS.enabled:
+                    OBS.registry.counter("ckpt.async.snapshot_stalls").inc()
+                    OBS.registry.observe("ckpt.async.snapshot_stall_wait.s",
+                                         waited)
             slot = self._free.pop()
         staged = self._copy_into(tree, self._caches[slot], ())
         self.stages += 1
@@ -256,6 +268,8 @@ class AsyncCheckpointEngine:
         self._outstanding = 0
         self._closed = False
         self._failure: BaseException | None = None
+        self._failure_seq: int | None = None   # seq of the record that failed
+        self._failure_kind: str | None = None  # "full" | "diff"
         # Telemetry ----------------------------------------------------------
         self.submitted = 0
         self.committed = 0
@@ -314,7 +328,12 @@ class AsyncCheckpointEngine:
                 while self._outstanding >= self.queue_depth \
                         and self._failure is None and not self._closed:
                     self._space.wait()
-                self.backpressure_time_s += time.perf_counter() - started
+                waited = time.perf_counter() - started
+                self.backpressure_time_s += waited
+                if OBS.enabled:
+                    OBS.registry.counter("ckpt.async.backpressure_stalls").inc()
+                    OBS.registry.observe("ckpt.async.backpressure_wait.s",
+                                         waited)
                 self._raise_if_failed_locked()
                 if self._closed:
                     raise RuntimeError("submit on finalized persistence engine")
@@ -326,6 +345,10 @@ class AsyncCheckpointEngine:
             self.submitted += 1
             self._tasks.append(task)
             self._task_ready.notify()
+            if OBS.enabled:
+                OBS.registry.counter("ckpt.async.submitted").inc()
+                OBS.registry.set("ckpt.async.queue_depth", self._outstanding)
+                OBS.tracer.counter("ckpt.async.queue_depth", self._outstanding)
             return task.pending
 
     # Writer pool -------------------------------------------------------------
@@ -350,38 +373,52 @@ class AsyncCheckpointEngine:
                 f"{task.kind} write seq {task.seq} dropped after engine failure")
         else:
             try:
-                started = time.perf_counter()
-                if task.kind == "full":
-                    tree = task.item  # staged by save_full
-                else:
-                    tree = CheckpointStore.diff_tree(
-                        task.meta["start"], task.meta["end"],
-                        task.meta["count"], payload_to_tree(task.item))
-                buffer = self.pool.acquire()
-                view, crc = pack_tree_into(tree, buffer)
-                self.serialize_time_s += time.perf_counter() - started
+                with obs_span("serialize", "ckpt",
+                              {"kind": task.kind, "seq": task.seq}):
+                    started = time.perf_counter()
+                    if task.kind == "full":
+                        tree = task.item  # staged by save_full
+                    else:
+                        tree = CheckpointStore.diff_tree(
+                            task.meta["start"], task.meta["end"],
+                            task.meta["count"], payload_to_tree(task.item))
+                    buffer = self.pool.acquire()
+                    view, crc = pack_tree_into(tree, buffer)
+                    elapsed = time.perf_counter() - started
+                    self.serialize_time_s += elapsed
+                if OBS.enabled:
+                    OBS.registry.observe("ckpt.async.serialize.s", elapsed)
             except BaseException as exc:
                 error = exc
         # Take the commit turn even on failure, so the turnstile advances
         # and later sequence numbers are never blocked behind this one.
-        with self._turn:
-            started = time.perf_counter()
-            while task.seq != self._next_commit:
-                self._turn.wait()
-            self.commit_wait_s += time.perf_counter() - started
+        with obs_span("commit_wait", "ckpt", {"seq": task.seq}):
+            with self._turn:
+                started = time.perf_counter()
+                while task.seq != self._next_commit:
+                    self._turn.wait()
+                waited = time.perf_counter() - started
+                self.commit_wait_s += waited
+        if OBS.enabled:
+            OBS.registry.observe("ckpt.async.commit_wait.s", waited)
         # Commit outside the lock: only the turn-holder may reach this
         # point, so the (non-thread-safe) store sees one writer at a time.
         if error is None:
             try:
-                started = time.perf_counter()
-                if task.kind == "full":
-                    record = self.store.save_full_bytes(
-                        task.meta["step"], view, crc)
-                else:
-                    record = self.store.save_diff_bytes(
-                        task.meta["start"], task.meta["end"],
-                        task.meta["count"], view, crc)
-                self.commit_time_s += time.perf_counter() - started
+                with obs_span("commit", "ckpt",
+                              {"kind": task.kind, "seq": task.seq}):
+                    started = time.perf_counter()
+                    if task.kind == "full":
+                        record = self.store.save_full_bytes(
+                            task.meta["step"], view, crc)
+                    else:
+                        record = self.store.save_diff_bytes(
+                            task.meta["start"], task.meta["end"],
+                            task.meta["count"], view, crc)
+                    elapsed = time.perf_counter() - started
+                    self.commit_time_s += elapsed
+                if OBS.enabled:
+                    OBS.registry.observe("ckpt.async.commit.s", elapsed)
             except BaseException as exc:
                 error = exc
         if view is not None:
@@ -396,12 +433,24 @@ class AsyncCheckpointEngine:
             self._turn.notify_all()
             if error is None:
                 self.committed += 1
+                if OBS.enabled:
+                    OBS.registry.counter("ckpt.async.committed").inc()
             else:
                 if isinstance(error, WriteAborted):
                     self.aborted_writes += 1
                 elif self._failure is None:
                     self._failure = error
+                    self._failure_seq = task.seq
+                    self._failure_kind = task.kind
+                    if OBS.enabled:
+                        OBS.registry.counter("ckpt.async.failures").inc()
+                        OBS.tracer.instant(
+                            "engine-failure", "ckpt",
+                            {"kind": task.kind, "seq": task.seq,
+                             "error": repr(error)})
             self._outstanding -= 1
+            if OBS.enabled:
+                OBS.registry.set("ckpt.async.queue_depth", self._outstanding)
             self._space.notify()
             if self._outstanding == 0:
                 self._drained.notify_all()
@@ -463,8 +512,11 @@ class AsyncCheckpointEngine:
 
     def _raise_if_failed_locked(self) -> None:
         if self._failure is not None:
-            raise RuntimeError("async persistence engine failed") \
-                from self._failure
+            raise RuntimeError(
+                f"async persistence engine failed: {self._failure_kind} "
+                f"record seq {self._failure_seq} raised "
+                f"{type(self._failure).__name__}: {self._failure}"
+            ) from self._failure
 
     @property
     def outstanding(self) -> int:
@@ -492,6 +544,11 @@ class AsyncCheckpointEngine:
                 "commit_wait_s": self.commit_wait_s,
                 "serialize_time_s": self.serialize_time_s,
                 "commit_time_s": self.commit_time_s,
+                "failure": None if self._failure is None else {
+                    "seq": self._failure_seq,
+                    "kind": self._failure_kind,
+                    "error": repr(self._failure),
+                },
             }
         out.update(self.pool.stats())
         out.update(self.stager.stats())

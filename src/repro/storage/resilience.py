@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import OBS
 from repro.storage.backends import StorageBackend
 from repro.utils.validation import check_positive
 
@@ -102,18 +103,26 @@ class CircuitBreaker:
         self.trip_count = 0
         self._opened_at = 0.0
 
+    def _transition(self, new_state: str) -> None:
+        old, self.state = self.state, new_state
+        if old != new_state and OBS.enabled:
+            OBS.registry.counter(
+                f"storage.breaker.transitions.{old}_to_{new_state}").inc()
+            OBS.tracer.instant("breaker-transition", "storage",
+                               {"from": old, "to": new_state})
+
     def allow(self) -> bool:
         """Whether an operation may proceed right now."""
         if self.state == self.OPEN:
             if self.clock.now - self._opened_at >= self.reset_timeout_s:
-                self.state = self.HALF_OPEN
+                self._transition(self.HALF_OPEN)
                 return True
             return False
         return True
 
     def record_success(self) -> None:
         self.consecutive_failures = 0
-        self.state = self.CLOSED
+        self._transition(self.CLOSED)
 
     def record_failure(self) -> None:
         self.consecutive_failures += 1
@@ -121,7 +130,7 @@ class CircuitBreaker:
                 self.consecutive_failures >= self.failure_threshold:
             if self.state != self.OPEN:
                 self.trip_count += 1
-            self.state = self.OPEN
+            self._transition(self.OPEN)
             self._opened_at = self.clock.now
 
 
@@ -166,11 +175,17 @@ class ResilientBackend(StorageBackend):
                     self.breaker.record_failure()
                 if failures >= self.retry.max_attempts:
                     self.failed_operations += 1
+                    if OBS.enabled:
+                        OBS.registry.counter(
+                            "storage.retry.exhausted").inc()
                     raise
                 delay = self.retry.delay(failures)
                 self.clock.sleep(delay)
                 self.backoff_time_s += delay
                 self.retries += 1
+                if OBS.enabled:
+                    OBS.registry.counter("storage.retry.retries").inc()
+                    OBS.registry.observe("storage.retry.backoff.s", delay)
                 if self.breaker is not None and not self.breaker.allow():
                     self.failed_operations += 1
                     raise CircuitOpenError(
@@ -261,6 +276,9 @@ class TieredBackend(StorageBackend):
                 ) from fallback_error
             self._pending_sync.add(key)
             self.fallback_writes += 1
+            if OBS.enabled:
+                OBS.registry.counter("storage.tier.fallback_writes").inc()
+                OBS.tracer.instant("tier-degrade", "storage", {"key": key})
         else:
             self._pending_sync.discard(key)
             if self._pending_sync:
@@ -297,6 +315,10 @@ class TieredBackend(StorageBackend):
             self.fallback.delete(key)
             promoted += 1
         self.resynced_keys += promoted
+        if promoted and OBS.enabled:
+            OBS.registry.counter("storage.tier.resynced_keys").inc(promoted)
+            OBS.tracer.instant("tier-resync", "storage",
+                               {"promoted": promoted})
         return promoted
 
     # Namespace operations ----------------------------------------------------

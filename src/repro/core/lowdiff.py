@@ -89,11 +89,18 @@ class LowDiffCheckpointer:
         ``True`` drains the queue from a background thread — the paper's
         separate checkpointing process.  ``False`` drains inline after
         each iteration (deterministic; used by most tests).
+    retention:
+        Optional :class:`~repro.storage.compaction.RetentionPolicy`; when
+        set, a :class:`~repro.storage.compaction.ChainCompactor` enforces
+        it (compaction + gc) after every persisted full checkpoint and at
+        finalize.  ``None`` (default) leaves the series untouched —
+        bit-stable with earlier revisions.
     """
 
     def __init__(self, store: CheckpointStore, config: CheckpointConfig,
                  zero_copy: bool = True, offload_to_cpu: bool = True,
-                 async_mode: bool = False, queue_maxsize: int = 0):
+                 async_mode: bool = False, queue_maxsize: int = 0,
+                 retention=None, model_factory=None, optimizer_factory=None):
         self.store = store
         self.config = config
         self.queue = ReusingQueue(maxsize=queue_maxsize, copy_mode=not zero_copy)
@@ -111,6 +118,15 @@ class LowDiffCheckpointer:
             )
             persist_target = self.engine
         self._persist = persist_target
+        self.retention = retention
+        self.compactor = None
+        if retention is not None:
+            from repro.storage.compaction import ChainCompactor
+            self.compactor = ChainCompactor(
+                store, retention, engine=self.engine,
+                model_factory=model_factory,
+                optimizer_factory=optimizer_factory,
+            )
         self.writer = BatchedGradientWriter(
             persist_target, batch_size=config.batch_size,
             offload_to_cpu=offload_to_cpu
@@ -189,8 +205,17 @@ class LowDiffCheckpointer:
             self.full_checkpoints += 1
             if OBS.enabled:
                 OBS.registry.counter("ckpt.full.persisted").inc()
+            if self.compactor is not None:
+                # Policy-driven auto-trigger: a fresh full is the natural
+                # compaction point (the chain behind it just became aged).
+                self.compactor.enforce()
         else:
             self.writer.submit(int(step), item)
+            if self.compactor is not None:
+                # Chains grow *between* fulls; when a full is delayed the
+                # policy budget must still hold, so the diff path checks
+                # too (cheap peek — only drains once visibly exceeded).
+                self.compactor.maybe_enforce()
 
     def _drain_available(self) -> None:
         for step, item in self.queue.drain():
@@ -225,6 +250,8 @@ class LowDiffCheckpointer:
             self._check_worker()
         self._drain_available()
         self.writer.flush()
+        if self.compactor is not None:
+            self.compactor.enforce()  # drains the engine first if present
         if self.engine is not None:
             self.engine.finalize()
 

@@ -103,11 +103,18 @@ class LowDiffPlusCheckpointer:
         an ad-hoc thread per persist.  The skip-when-in-flight semantics
         are preserved: a cadence tick that would hit engine backpressure
         is skipped and counted in ``persist_skips``.
+    retention:
+        Optional :class:`~repro.storage.compaction.RetentionPolicy`
+        applied to the durable store after each persisted full (and at
+        finalize): LowDiff+ writes only fulls, so retention here is the
+        keep-N-fulls bound.  ``None`` (default) never prunes — bit-stable
+        with earlier revisions.
     """
 
     def __init__(self, store: CheckpointStore, persist_every: int = 10,
                  async_persist: bool = False, use_engine: bool = False,
-                 writer_threads: int = 2, queue_depth: int = 2):
+                 writer_threads: int = 2, queue_depth: int = 2,
+                 retention=None):
         if persist_every < 1:
             raise ValueError(f"persist_every must be >= 1, got {persist_every}")
         if use_engine and not async_persist:
@@ -119,6 +126,7 @@ class LowDiffPlusCheckpointer:
         if use_engine:
             self.engine = AsyncCheckpointEngine(
                 store, num_writers=writer_threads, queue_depth=queue_depth)
+        self.retention = retention
         self.replica: CpuReplica | None = None
         self._trainer = None
         # Per-iteration gradient assembly buffers ("snapshot to CPU").
@@ -208,6 +216,10 @@ class LowDiffPlusCheckpointer:
             self.engine.save_full(snapshot.step, snapshot.model_state,
                                   snapshot.optimizer_state)
             self.persisted_checkpoints += 1
+            # Prunes among already-committed fulls only (the submitted one
+            # becomes visible at its in-order commit) — safe to run while
+            # writers are in flight thanks to the store's mutation lock.
+            self._apply_retention()
             if OBS.enabled:
                 OBS.registry.counter("ckpt.plus.persisted").inc()
             return
@@ -215,6 +227,7 @@ class LowDiffPlusCheckpointer:
             self.store.save_full(snapshot.step, snapshot.model_state,
                                  snapshot.optimizer_state)
             self.persisted_checkpoints += 1
+            self._apply_retention()
             if OBS.enabled:
                 OBS.registry.counter("ckpt.plus.persisted").inc()
             return
@@ -232,6 +245,7 @@ class LowDiffPlusCheckpointer:
                 self.store.save_full(snapshot.step, snapshot.model_state,
                                      snapshot.optimizer_state)
                 self.persisted_checkpoints += 1
+                self._apply_retention()
             except BaseException as error:  # surfaced on training thread
                 self._persist_error = error
 
@@ -239,6 +253,10 @@ class LowDiffPlusCheckpointer:
             target=write, name="lowdiff-plus-persist", daemon=True
         )
         self._persist_thread.start()
+
+    def _apply_retention(self) -> None:
+        if self.retention is not None:
+            self.retention.apply_gc(self.store)
 
     def _check_persist_error(self) -> None:
         if self.engine is not None:
@@ -252,6 +270,9 @@ class LowDiffPlusCheckpointer:
             self._persist_thread.join(timeout=30.0)
         if self.engine is not None:
             self.engine.finalize()
+            # The last submitted full is committed now; enforce the bound
+            # over the final series too.
+            self._apply_retention()
         self._check_persist_error()
 
     # Recovery (paper §V: software vs hardware failures) ---------------------------

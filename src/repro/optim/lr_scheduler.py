@@ -3,6 +3,16 @@
 Schedules are pure functions of the step index, so a recovered run resumes
 with exactly the learning rate the failed run would have used — another
 piece of the bit-exact replay contract.
+
+That contract requires the schedule's anchor to survive a resume: the
+optimizer's *live* ``lr`` is overwritten every step (by the schedule) and
+restored from the checkpoint (by ``load_state_dict``), so capturing it at
+construction poisons any scheduler built against an already-warmed
+optimizer — e.g. a ``WarmupLR``-wrapped schedule rebuilt after recovering
+mid-warmup would treat the warmup-scaled lr as the base.  Schedulers
+therefore anchor on ``optimizer.initial_lr`` (the constructor-given rate,
+never mutated), falling back to ``optimizer.lr`` only for optimizer-like
+objects that predate the attribute.
 """
 
 from __future__ import annotations
@@ -15,9 +25,12 @@ from repro.optim.optimizer import Optimizer
 class _Scheduler:
     """Base: computes lr(step) and pushes it into the bound optimizer."""
 
-    def __init__(self, optimizer: Optimizer):
+    def __init__(self, optimizer: Optimizer, base_lr: float | None = None):
         self.optimizer = optimizer
-        self.base_lr = optimizer.lr
+        if base_lr is not None:
+            self.base_lr = float(base_lr)
+        else:
+            self.base_lr = getattr(optimizer, "initial_lr", optimizer.lr)
 
     def lr_at(self, step: int) -> float:
         raise NotImplementedError

@@ -108,11 +108,15 @@ def fixed_mtbf_schedule(mtbf_s: float, horizon_s: float,
     """Failures at exactly ``mtbf, 2*mtbf, ...`` — the paper's methodology."""
     check_positive("mtbf_s", mtbf_s)
     check_positive("horizon_s", horizon_s)
+    # Each event is computed as k * mtbf_s rather than by accumulating
+    # t += mtbf_s: repeated addition drifts late events off the exact
+    # k*mtbf grid the methodology specifies (one ulp per event compounds
+    # over long horizons).
     events = []
-    t = mtbf_s
-    while t < horizon_s:
-        events.append(FailureEvent(time_s=t, kind=kind))
-        t += mtbf_s
+    k = 1
+    while k * mtbf_s < horizon_s:
+        events.append(FailureEvent(time_s=k * mtbf_s, kind=kind))
+        k += 1
     return FailureSchedule(horizon_s=horizon_s, events=tuple(events))
 
 

@@ -21,7 +21,7 @@ class LowDiffStrategy(CheckpointStrategy):
     def __init__(self, full_every: int = 20, batch_size: int = 2,
                  diff_every: int = 1, zero_copy: bool = True,
                  backlog_budget_s: float = 2.0, remote_storage: bool = False,
-                 async_engine: bool = False):
+                 async_engine: bool = False, retention=None):
         super().__init__()
         if full_every < 1 or batch_size < 1 or diff_every < 1:
             raise ValueError("checkpoint intervals must be >= 1")
@@ -39,7 +39,21 @@ class LowDiffStrategy(CheckpointStrategy):
         #: backlog-budget heuristic.  Off by default so the historical
         #: pricing stays bit-stable.
         self.async_engine = bool(async_engine)
+        #: Optional :class:`repro.storage.compaction.RetentionPolicy`.
+        #: When set, every full checkpoint triggers the compactor's
+        #: merge pass over the chain that just aged behind it: the merge's
+        #: read+write IO is scheduled on the persist channel (compaction
+        #: competes with checkpoint persistence for the same SSD/network
+        #: bandwidth — off the training critical path, but visible in
+        #: channel backlog, wasted-time and ETR curves), and
+        #: ``failure_profile`` caps the replayed batches at the policy's
+        #: chain budget.  ``None`` (default) keeps pricing bit-stable
+        #: with earlier revisions.
+        self.retention = retention
+        #: Cumulative bytes of compaction IO scheduled (telemetry).
+        self.compaction_io_bytes = 0.0
         self._in_batch = 0
+        self._records_since_full = 0
 
     @classmethod
     def from_config(cls, config: CheckpointConfig, **kwargs) -> "LowDiffStrategy":
@@ -70,6 +84,7 @@ class LowDiffStrategy(CheckpointStrategy):
                 batched = workload.batched_diff_bytes(self.batch_size)
                 self._schedule_persist(batched)
                 self._in_batch = 0
+                self._records_since_full += 1
                 self.count("diff_write")
             self.count("diff")
             persist_resource, _ = self._persist_channel()
@@ -101,6 +116,42 @@ class LowDiffStrategy(CheckpointStrategy):
                               category="ckpt")
             self._schedule_persist(size)
             self.count("full")
+            self._schedule_compaction()
+
+    def _schedule_compaction(self) -> None:
+        """Price one compactor merge pass over the chain a full just aged.
+
+        Mirrors :class:`repro.storage.compaction.ChainCompactor` in merge
+        mode: when the aged chain exceeds the policy's budget, runs of
+        ``compact_run`` adjacent records are read back and rewritten as
+        one super-diff each.  Both directions ride the persist channel —
+        asynchronous (no direct training stall) but consuming the same
+        bandwidth as checkpoint persistence, so a tight budget shows up
+        as channel backlog exactly like extra checkpoint traffic would.
+        """
+        aged, self._records_since_full = self._records_since_full, 0
+        if self.retention is None:
+            return
+        budget = self.retention.chain_budget()
+        if budget is None or aged <= budget:
+            return
+        workload, sim = self.workload, self.sim
+        fan_in = self.retention.compact_run
+        runs = aged // fan_in
+        if runs < 1:
+            return
+        read_bytes = runs * fan_in * workload.batched_diff_bytes(self.batch_size)
+        # A super-diff over `fan_in` batched records has the union sparsity
+        # of `fan_in * batch_size` gradients — the same dedup the batched
+        # writer applies on the live path.
+        write_bytes = runs * workload.batched_diff_bytes(
+            fan_in * self.batch_size)
+        resource, duration = self._persist_channel()
+        io_time = workload.read_time(read_bytes) + duration(write_bytes)
+        resource.schedule(sim.now, io_time, nbytes=read_bytes + write_bytes,
+                          label="compaction", category="ckpt")
+        self.compaction_io_bytes += read_bytes + write_bytes
+        self.count("compact")
 
     def on_finish(self, final_iteration: int) -> None:
         if self._in_batch:
@@ -114,6 +165,14 @@ class LowDiffStrategy(CheckpointStrategy):
                         parallel_recovery: bool = True) -> FailureProfile:
         workload = self.workload
         batches_to_replay = (self.full_every / (self.diff_every * self.batch_size)) / 2.0
+        if self.retention is not None:
+            # Compaction guarantees the chain behind the newest full never
+            # exceeds the policy budget, so worst-case (and hence expected)
+            # replayed records are capped — the paper's bounded-recovery
+            # property.
+            budget = self.retention.chain_budget()
+            if budget is not None:
+                batches_to_replay = min(batches_to_replay, float(budget))
         merge_each = workload.merge_diff_time(self.batch_size)
         if parallel_recovery and batches_to_replay > 1:
             import math

@@ -39,6 +39,11 @@ from repro.storage.checkpoint_store import (
     FullCheckpointRecord,
     DiffCheckpointRecord,
 )
+from repro.storage.compaction import (
+    ChainCompactor,
+    CompactionReport,
+    RetentionPolicy,
+)
 from repro.storage.async_engine import (
     AsyncCheckpointEngine,
     BufferPool,
@@ -71,6 +76,9 @@ __all__ = [
     "CheckpointStore",
     "FullCheckpointRecord",
     "DiffCheckpointRecord",
+    "ChainCompactor",
+    "CompactionReport",
+    "RetentionPolicy",
     "AsyncCheckpointEngine",
     "BufferPool",
     "PendingWrite",

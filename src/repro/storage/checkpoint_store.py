@@ -22,13 +22,25 @@ blindly.
 
 Retention: old fulls and the diffs they anchor can be garbage-collected
 once newer fulls exist; ``gc`` also sweeps crash debris (orphaned ``.tmp``
-files, backend keys no manifest references).
+files, backend keys no manifest references).  Long differential chains can
+be *compacted* — adjacent diff records merged into consolidated super-diff
+records — via :meth:`CheckpointStore.compact` and the policy machinery in
+:mod:`repro.storage.compaction`.
+
+Crash-ordering invariant (ARCHITECTURE.md §10): every mutation that
+*removes* data commits the shrunk manifest **before** deleting backend
+keys, and every mutation that *adds* data writes the blob **before**
+committing the manifest that references it.  A crash at any point
+therefore leaves either (a) the previous consistent view plus some
+unreferenced blobs (swept by ``gc``) or (b) the new consistent view —
+never a manifest entry pointing at a missing key.
 """
 
 from __future__ import annotations
 
 import json
 import re
+import threading
 import zlib
 from dataclasses import dataclass
 
@@ -70,6 +82,12 @@ class CheckpointStore:
 
     def __init__(self, backend: StorageBackend):
         self.backend = backend
+        #: Serializes every manifest-mutating operation (saves, gc,
+        #: compaction, repair).  Without it, ``gc(purge_unreferenced=True)``
+        #: on the training thread can list keys while an async-engine
+        #: writer sits between its blob write and its manifest commit —
+        #: and purge the blob the manifest is about to reference.
+        self._mutation_lock = threading.RLock()
         self._fulls: list[FullCheckpointRecord] = []
         self._diffs: list[DiffCheckpointRecord] = []
         #: Keys moved to quarantine over this store's lifetime.
@@ -183,16 +201,31 @@ class CheckpointStore:
         Called by the recovery path when a blob fails verification; the
         bytes are preserved under ``quarantine/`` for post-mortems while
         the record disappears from the replayable series.
+
+        Ordering: copy aside, commit the pruned manifest, *then* delete
+        the original — a crash mid-quarantine never leaves the manifest
+        referencing a missing key.  If the manifest commit itself fails
+        (storage refusing writes must not abort a recovery) the original
+        blob is left in place for the same reason.
         """
-        self._quarantine_key(record.key)
-        if isinstance(record, FullCheckpointRecord):
-            self._fulls = [r for r in self._fulls if r.key != record.key]
-        else:
-            self._diffs = [r for r in self._diffs if r.key != record.key]
-        try:
-            self._commit_manifest()
-        except OSError:
-            pass  # storage refusing writes must not abort a recovery
+        with self._mutation_lock:
+            try:
+                self.backend.write(QUARANTINE_PREFIX + record.key,
+                                   self.backend.read(record.key))
+            except OSError:
+                pass  # unreadable or quarantine tier down: removal proceeds
+            if isinstance(record, FullCheckpointRecord):
+                self._fulls = [r for r in self._fulls if r.key != record.key]
+            else:
+                self._diffs = [r for r in self._diffs if r.key != record.key]
+            committed = True
+            try:
+                self._commit_manifest()
+            except OSError:
+                committed = False
+            if committed:
+                self.backend.delete(record.key)
+            self.quarantined.append(record.key)
 
     # Saving ------------------------------------------------------------------
     @staticmethod
@@ -238,12 +271,14 @@ class CheckpointStore:
         point at which the record becomes visible in the manifest.
         """
         key = f"full/{step:010d}.ckpt"
-        self.backend.write(key, data)
-        record = FullCheckpointRecord(step=int(step), key=key, nbytes=len(data),
-                                      crc=crc & 0xFFFFFFFF)
-        self._fulls = [r for r in self._fulls if r.step != step] + [record]
-        self._fulls.sort(key=lambda r: r.step)
-        self._commit_manifest()
+        with self._mutation_lock:
+            self.backend.write(key, data)
+            record = FullCheckpointRecord(step=int(step), key=key,
+                                          nbytes=len(data),
+                                          crc=crc & 0xFFFFFFFF)
+            self._fulls = [r for r in self._fulls if r.step != step] + [record]
+            self._fulls.sort(key=lambda r: r.step)
+            self._commit_manifest()
         return record
 
     def save_diff(self, start: int, end: int, payload, count: int | None = None
@@ -272,24 +307,25 @@ class CheckpointStore:
         """
         if end < start:
             raise ValueError(f"diff range invalid: start={start} end={end}")
-        for existing in self._diffs:
-            if (existing.start, existing.end) != (start, end) \
-                    and start <= existing.end and end >= existing.start:
-                raise ValueError(
-                    f"diff range [{start},{end}] overlaps existing record "
-                    f"[{existing.start},{existing.end}] inconsistently"
-                )
-        key = f"diff/{start:010d}_{end:010d}.ckpt"
-        self.backend.write(key, data)
-        record = DiffCheckpointRecord(
-            start=int(start), end=int(end), key=key, nbytes=len(data),
-            count=int(count), crc=crc & 0xFFFFFFFF,
-        )
-        self._diffs = [
-            r for r in self._diffs if (r.start, r.end) != (start, end)
-        ] + [record]
-        self._diffs.sort(key=lambda r: (r.start, r.end))
-        self._commit_manifest()
+        with self._mutation_lock:
+            for existing in self._diffs:
+                if (existing.start, existing.end) != (start, end) \
+                        and start <= existing.end and end >= existing.start:
+                    raise ValueError(
+                        f"diff range [{start},{end}] overlaps existing record "
+                        f"[{existing.start},{existing.end}] inconsistently"
+                    )
+            key = f"diff/{start:010d}_{end:010d}.ckpt"
+            self.backend.write(key, data)
+            record = DiffCheckpointRecord(
+                start=int(start), end=int(end), key=key, nbytes=len(data),
+                count=int(count), crc=crc & 0xFFFFFFFF,
+            )
+            self._diffs = [
+                r for r in self._diffs if (r.start, r.end) != (start, end)
+            ] + [record]
+            self._diffs.sort(key=lambda r: (r.start, r.end))
+            self._commit_manifest()
         return record
 
     # Loading -----------------------------------------------------------------
@@ -389,15 +425,18 @@ class CheckpointStore:
             except (CorruptCheckpointError, KeyError, TypeError):
                 report["corrupt"].append(record.key)
         if repair and (report["missing"] or report["corrupt"]):
-            corrupt = set(report["corrupt"])
-            for record in list(self._fulls) + list(self._diffs):
-                if record.key in corrupt:
-                    self.quarantine(record)
-            missing = set(report["missing"])
-            if missing:
-                self._fulls = [r for r in self._fulls if r.key not in missing]
-                self._diffs = [r for r in self._diffs if r.key not in missing]
-                self._commit_manifest()
+            with self._mutation_lock:
+                corrupt = set(report["corrupt"])
+                for record in list(self._fulls) + list(self._diffs):
+                    if record.key in corrupt:
+                        self.quarantine(record)
+                missing = set(report["missing"])
+                if missing:
+                    self._fulls = [r for r in self._fulls
+                                   if r.key not in missing]
+                    self._diffs = [r for r in self._diffs
+                                   if r.key not in missing]
+                    self._commit_manifest()
         return report
 
     # Retention -----------------------------------------------------------------
@@ -411,39 +450,128 @@ class CheckpointStore:
         ``purge_unreferenced``) ``full/``/``diff/`` keys the manifest does
         not reference — both are left behind by writes a crash interrupted
         between data write and manifest commit.
+
+        Ordering: the pruned manifest commits **before** any backend key
+        is deleted.  A crash inside the delete loop leaves already-pruned
+        (now unreferenced) blobs behind — swept by the next ``gc`` — but
+        never a manifest entry referencing a deleted key.
         """
         if keep_fulls < 1:
             raise ValueError(f"keep_fulls must be >= 1, got {keep_fulls}")
-        deleted = 0
-        if len(self._fulls) > keep_fulls:
-            drop, self._fulls = self._fulls[:-keep_fulls], self._fulls[-keep_fulls:]
+        with self._mutation_lock:
+            drop: list = []
+            if len(self._fulls) > keep_fulls:
+                drop.extend(self._fulls[:-keep_fulls])
+                self._fulls = self._fulls[-keep_fulls:]
+            if self._fulls:
+                horizon = self._fulls[0].step
+                keep = [r for r in self._diffs if r.end > horizon]
+                drop.extend(r for r in self._diffs if r.end <= horizon)
+                self._diffs = keep
+            if drop:
+                self._commit_manifest()  # manifest-first, then delete
+            deleted = 0
             for record in drop:
                 self.backend.delete(record.key)
                 deleted += 1
-        if self._fulls:
-            horizon = self._fulls[0].step
-            keep, drop = [], []
-            for record in self._diffs:
-                (keep if record.end > horizon else drop).append(record)
-            for record in drop:
-                self.backend.delete(record.key)
-                deleted += 1
-            self._diffs = keep
-        if deleted:
+            deleted += self.backend.purge_debris()
+            if purge_unreferenced:
+                referenced = {r.key for r in self._fulls}
+                referenced.update(r.key for r in self._diffs)
+                for prefix in ("full/", "diff/"):
+                    for key in self.backend.list_keys(prefix):
+                        if key not in referenced:
+                            self.backend.delete(key)
+                            deleted += 1
+        return deleted
+
+    # Compaction ----------------------------------------------------------------
+    def replace_diff_run(self, run: list[DiffCheckpointRecord], data, crc: int,
+                         count: int | None = None) -> DiffCheckpointRecord:
+        """Atomically swap a contiguous run of diff records for one super-diff.
+
+        ``data``/``crc`` are the serialized consolidated record covering
+        exactly ``[run[0].start, run[-1].end]``.  This bypasses
+        :meth:`save_diff_bytes`'s overlap guard (the super-diff's range
+        *deliberately* overlaps the singles it replaces) and does the swap
+        as manifest surgery with crash-safe ordering:
+
+        1. write the super-diff blob (old view still consistent — the new
+           blob is unreferenced debris if we crash here);
+        2. commit the manifest with the run's records replaced by the
+           super-diff record (the commit point);
+        3. delete the replaced blobs (crash here leaves unreferenced
+           singles, swept by ``gc``).
+        """
+        if not run:
+            raise ValueError("replace_diff_run requires a non-empty run")
+        with self._mutation_lock:
+            keys = {r.key for r in self._diffs}
+            next_start = run[0].start
+            for record in run:
+                if record.key not in keys:
+                    raise ValueError(
+                        f"record {record.key} is not in the manifest")
+                if record.start != next_start:
+                    raise ValueError(
+                        f"run is not contiguous at step {record.start} "
+                        f"(expected start {next_start})")
+                next_start = record.end + 1
+            start, end = run[0].start, run[-1].end
+            resolved_count = int(count if count is not None
+                                 else sum(r.count for r in run))
+            key = f"diff/{start:010d}_{end:010d}.ckpt"
+            self.backend.write(key, data)
+            record = DiffCheckpointRecord(
+                start=int(start), end=int(end), key=key, nbytes=len(data),
+                count=resolved_count, crc=crc & 0xFFFFFFFF,
+            )
+            replaced = {r.key for r in run}
+            self._diffs = [r for r in self._diffs
+                           if r.key not in replaced] + [record]
+            self._diffs.sort(key=lambda r: (r.start, r.end))
             self._commit_manifest()
-        deleted += self.backend.purge_debris()
-        if purge_unreferenced:
-            referenced = {r.key for r in self._fulls}
-            referenced.update(r.key for r in self._diffs)
-            for key in self.backend.list_keys("full/"):
-                if key not in referenced:
-                    self.backend.delete(key)
-                    deleted += 1
-            for key in self.backend.list_keys("diff/"):
-                if key not in referenced:
-                    self.backend.delete(key)
+            for old in run:
+                if old.key != key:
+                    self.backend.delete(old.key)
+        return record
+
+    def drop_diffs(self, records: list[DiffCheckpointRecord]) -> int:
+        """Remove diff records (manifest-first) and delete their blobs.
+
+        Used by compaction's rebase mode once a new full checkpoint makes
+        a chain prefix redundant.  Returns the number of blobs deleted.
+        """
+        if not records:
+            return 0
+        with self._mutation_lock:
+            doomed = {r.key for r in records}
+            before = len(self._diffs)
+            self._diffs = [r for r in self._diffs if r.key not in doomed]
+            if len(self._diffs) != before:
+                self._commit_manifest()
+            deleted = 0
+            for record in records:
+                if self.backend.exists(record.key):
+                    self.backend.delete(record.key)
                     deleted += 1
         return deleted
+
+    def compact(self, policy=None, *, model_factory=None,
+                optimizer_factory=None, mode: str = "auto"):
+        """Compact the diff chain under ``policy`` (see
+        :mod:`repro.storage.compaction`).
+
+        Convenience wrapper constructing a one-shot
+        :class:`~repro.storage.compaction.ChainCompactor`.  Returns its
+        :class:`~repro.storage.compaction.CompactionReport`.
+        """
+        from repro.storage.compaction import ChainCompactor, RetentionPolicy
+        compactor = ChainCompactor(
+            self, policy if policy is not None else RetentionPolicy(),
+            model_factory=model_factory, optimizer_factory=optimizer_factory,
+            mode=mode)
+        return compactor.run_once()
 
     # Accounting ---------------------------------------------------------------
     def storage_bytes(self) -> dict[str, int]:

@@ -1,0 +1,392 @@
+"""Diff-chain compaction with crash-safe retention (ARCHITECTURE.md §10).
+
+LowDiff's optimal-configuration analysis (PAPER.md §Optimal Configuration)
+bounds recovery cost by bounding how many differentials accumulate between
+full checkpoints.  The live write path honours ``full_every``, but chains
+still grow without bound whenever fulls are delayed (slow tier, failed
+snapshot, operator pause) — so the store needs a *retention* side that
+actively restores the bound.  This module provides it, log-structured-
+compaction style:
+
+* :class:`RetentionPolicy` — the declarative bound: keep-N fulls, a max
+  chain length in records, and/or a max recovery-cost estimate derived
+  from a simple ``load_full + n·replay_diff`` cost model.
+* :class:`ChainCompactor` — enforces the policy in two modes:
+
+  **merge** — adjacent runs of aged diff records are folded into one
+  consolidated *super-diff* record covering their union range
+  (:meth:`SparseGradient.merge_ordered` when every payload is sparse —
+  bit-identical to the left fold ``reduce(add)`` recovery itself would
+  perform — else a plain left fold of ``add``).  Replaying the super-diff
+  is exactly the batched-record semantics recovery already supports
+  (``count`` carries the represented gradient total): exact for linear
+  optimizers and state deltas, gradient-accumulation semantics for Adam —
+  the same approximation the batched writer makes on the live path.
+
+  **rebase** — the chain is replayed onto the newest full with the *real*
+  recovery arithmetic (:func:`repro.core.recovery.serial_recover`) and the
+  result persisted as a new full checkpoint at the chain's head, after
+  which the replayed prefix is redundant and retention prunes it.  Because
+  the replay is literally the recovery path, the new full is **bit-exact**
+  for any optimizer — this is the mode the bounded-recovery acceptance
+  drill exercises.
+
+Crash ordering: every mutation goes through the store's manifest-first
+primitives (``replace_diff_run``, ``save_full``, ``gc``) — blob writes
+before the manifest commit that references them, manifest commits before
+the deletes they orphan.  A crash at any point inside a compaction leaves
+either the previous consistent view plus unreferenced debris (swept by the
+next ``gc``) or the new view; never a manifest entry naming a missing key.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from functools import reduce
+
+from repro.compression.sparse import SparseGradient
+from repro.obs import OBS, span as obs_span
+from repro.storage.checkpoint_store import (
+    CheckpointStore,
+    DiffCheckpointRecord,
+)
+from repro.storage.payload_codec import payload_to_tree
+from repro.storage.serializer import pack_tree_into, pack_tree_with_crc
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Declarative bound on checkpoint retention and recovery cost.
+
+    Attributes
+    ----------
+    keep_fulls:
+        Newest full checkpoints to retain through ``gc`` (the Gemini-style
+        tiered-retention knob; recovery can fall back across all of them).
+    max_chain_len:
+        Maximum diff *records* after the newest full before compaction
+        triggers; ``None`` disables the length trigger.
+    max_recovery_cost_s:
+        Maximum estimated recovery time before compaction triggers, under
+        the ``load_full_s + n·replay_diff_s`` cost model; ``None``
+        disables the cost trigger.
+    load_full_s / replay_diff_s:
+        The cost model's coefficients (measured or from the sim workload).
+    compact_run:
+        How many adjacent records one merge-mode pass folds into a single
+        super-diff (the merge fan-in).
+    """
+
+    keep_fulls: int = 2
+    max_chain_len: int | None = None
+    max_recovery_cost_s: float | None = None
+    load_full_s: float = 0.0
+    replay_diff_s: float = 0.0
+    compact_run: int = 8
+
+    def __post_init__(self):
+        if self.keep_fulls < 1:
+            raise ValueError(f"keep_fulls must be >= 1, got {self.keep_fulls}")
+        if self.max_chain_len is not None and self.max_chain_len < 1:
+            raise ValueError(
+                f"max_chain_len must be >= 1, got {self.max_chain_len}")
+        if self.compact_run < 2:
+            raise ValueError(
+                f"compact_run must be >= 2, got {self.compact_run}")
+
+    # Cost model ------------------------------------------------------------
+    def recovery_cost_s(self, chain_records: int) -> float:
+        """Estimated worst-case recovery time for a ``chain_records`` chain."""
+        return self.load_full_s + chain_records * self.replay_diff_s
+
+    def chain_budget(self) -> int | None:
+        """Max diff records tolerated after the newest full (``None`` = ∞)."""
+        budgets = []
+        if self.max_chain_len is not None:
+            budgets.append(self.max_chain_len)
+        if self.max_recovery_cost_s is not None and self.replay_diff_s > 0:
+            budgets.append(max(0, math.floor(
+                (self.max_recovery_cost_s - self.load_full_s)
+                / self.replay_diff_s)))
+        return min(budgets) if budgets else None
+
+    def chain_records(self, store: CheckpointStore) -> int:
+        """Current intact-chain length (records) after the newest full."""
+        latest = store.latest_full()
+        if latest is None:
+            return 0
+        return len(store.diffs_after(latest.step))
+
+    def should_compact(self, store: CheckpointStore) -> bool:
+        budget = self.chain_budget()
+        return budget is not None and self.chain_records(store) > budget
+
+    def apply_gc(self, store: CheckpointStore) -> int:
+        """Prune fulls/diffs beyond the policy (manifest-first ``gc``)."""
+        return store.gc(keep_fulls=self.keep_fulls)
+
+
+@dataclass
+class CompactionReport:
+    """What one :meth:`ChainCompactor.run_once` pass did."""
+
+    mode: str                      # "merge", "rebase", or "noop"
+    triggered: bool                # policy wanted work (vs already in budget)
+    runs_merged: int = 0           # super-diffs written (merge mode)
+    records_before: int = 0        # chain records before the pass
+    records_after: int = 0         # chain records after the pass
+    reclaimed_bytes: int = 0       # blob bytes freed (merged + gc'd)
+    gc_deleted: int = 0            # objects deleted by the retention gc
+    new_full_step: int | None = None  # step of the rebased full, if any
+
+    @property
+    def bounded(self) -> bool:
+        return self.records_after <= self.records_before
+
+
+class ChainCompactor:
+    """Background-capable compactor enforcing a :class:`RetentionPolicy`.
+
+    One-shot use (``store.compact(...)`` delegates here)::
+
+        report = ChainCompactor(store, policy).run_once()
+
+    Auto-trigger use (the checkpointers call this after each full)::
+
+        compactor.enforce()       # no-op while the chain is within budget
+
+    Background use::
+
+        compactor.start(interval_s=30.0); ...; compactor.stop()
+
+    ``mode="rebase"`` needs ``model_factory``/``optimizer_factory`` —
+    the drill-harness convention: ``model_factory()`` builds a blank
+    model, ``optimizer_factory(model)`` binds a blank optimizer to it
+    (their state is overwritten by the loaded full).  ``mode="auto"``
+    picks rebase when factories are available, merge otherwise.
+
+    ``buffers`` may be an :class:`~repro.storage.async_engine.BufferPool`
+    (typically the async engine's) so merge-mode serialization reuses the
+    engine's pooled zero-copy buffers; ``engine`` wires both the pool and
+    a pre-compaction ``drain()`` so compaction never races in-flight
+    writes of the same chain.
+    """
+
+    def __init__(self, store: CheckpointStore, policy: RetentionPolicy,
+                 *, model_factory=None, optimizer_factory=None,
+                 mode: str = "auto", engine=None, buffers=None):
+        if mode not in ("auto", "merge", "rebase"):
+            raise ValueError(f"unknown compaction mode: {mode!r}")
+        if mode == "rebase" and (model_factory is None
+                                 or optimizer_factory is None):
+            raise ValueError(
+                "rebase mode requires model_factory and optimizer_factory")
+        self.store = store
+        self.policy = policy
+        self.model_factory = model_factory
+        self.optimizer_factory = optimizer_factory
+        self.mode = mode
+        self.engine = engine
+        self.buffers = buffers if buffers is not None \
+            else getattr(engine, "buffers", None)
+        self.reports: list[CompactionReport] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # Mode selection --------------------------------------------------------
+    def _resolved_mode(self) -> str:
+        if self.mode != "auto":
+            return self.mode
+        if self.model_factory is not None and self.optimizer_factory is not None:
+            return "rebase"
+        return "merge"
+
+    # Public API ------------------------------------------------------------
+    def enforce(self) -> CompactionReport | None:
+        """Compact + gc only if the policy's chain budget is exceeded."""
+        if self.engine is not None:
+            # Queued async writes may extend the chain; settle them first
+            # (also keeps the in-order commit turnstile out of our way).
+            self.engine.drain()
+        if not self.policy.should_compact(self.store):
+            return None
+        return self.run_once()
+
+    def maybe_enforce(self) -> CompactionReport | None:
+        """Hot-path auto-trigger: peek before paying for an engine drain.
+
+        The committed manifest can only *undercount* in-flight async
+        writes, so checking it first never compacts early; once the
+        budget is visibly exceeded, :meth:`enforce` drains and re-checks
+        against the settled chain.
+        """
+        if not self.policy.should_compact(self.store):
+            return None
+        return self.enforce()
+
+    def run_once(self) -> CompactionReport:
+        """One full compaction pass + retention gc, unconditionally."""
+        mode = self._resolved_mode()
+        before = self.policy.chain_records(self.store)
+        bytes_before = sum(self.store.storage_bytes().values())
+        with obs_span("compact.run", "compaction",
+                      {"mode": mode, "chain_records": before}):
+            if self.store.latest_full() is None or before == 0:
+                report = CompactionReport(mode="noop", triggered=False,
+                                          records_before=before,
+                                          records_after=before)
+            elif mode == "rebase":
+                report = self._rebase()
+            else:
+                report = self._merge()
+            report.gc_deleted = self.policy.apply_gc(self.store)
+            report.records_after = self.policy.chain_records(self.store)
+        report.reclaimed_bytes = max(
+            0, bytes_before - sum(self.store.storage_bytes().values()))
+        if OBS.enabled:
+            OBS.registry.counter("compact.passes").inc()
+            OBS.registry.counter("compact.runs_merged").inc(report.runs_merged)
+            OBS.registry.counter("compact.reclaimed_bytes").inc(
+                report.reclaimed_bytes)
+            OBS.registry.set("compact.chain_records", report.records_after)
+        self.reports.append(report)
+        return report
+
+    # Background thread -----------------------------------------------------
+    def start(self, interval_s: float = 30.0) -> "ChainCompactor":
+        """Run :meth:`enforce` every ``interval_s`` on a daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError("compactor already started")
+        self._stop.clear()
+
+        def loop():
+            while not self._stop.wait(interval_s):
+                self.enforce()
+
+        self._thread = threading.Thread(target=loop, daemon=True,
+                                        name="chain-compactor")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+
+    # Merge mode ------------------------------------------------------------
+    @staticmethod
+    def merge_payloads_ordered(payloads: list):
+        """Fold ``payloads`` left-to-right, exactly as serial replay would.
+
+        All-sparse runs take :meth:`SparseGradient.merge_ordered` — the
+        single-pass k-way kernel that is bit-identical to the left fold —
+        everything else (state deltas, dense, mixed-compatible) folds
+        ``add`` pairwise in order.
+        """
+        if not payloads:
+            raise ValueError("nothing to merge")
+        if len(payloads) > 1 and all(isinstance(p, SparseGradient)
+                                     for p in payloads):
+            return SparseGradient.merge_ordered(payloads)
+        return reduce(lambda a, b: a.add(b), payloads)
+
+    def _serialize_diff(self, start: int, end: int, count: int, payload):
+        tree = CheckpointStore.diff_tree(start, end, count,
+                                         payload_to_tree(payload))
+        if self.buffers is None:
+            return pack_tree_with_crc(tree), None, None
+        buffer = self.buffers.acquire()
+        view, crc = pack_tree_into(tree, buffer)
+        return (view, crc), view, buffer
+
+    def _merge(self) -> CompactionReport:
+        """Fold aged runs of ``compact_run`` adjacent records into super-diffs.
+
+        Chunks the intact chain oldest-first into runs of ``compact_run``
+        records; every run of at least two merges into one.  Repeated
+        passes keep folding (super-diffs merge with their neighbours too)
+        until the budget is met or a pass stops making progress (e.g.
+        ``add`` incompatibilities or a single-record chain).
+        """
+        policy, store = self.policy, self.store
+        budget = policy.chain_budget()
+        report = CompactionReport(mode="merge", triggered=True,
+                                  records_before=policy.chain_records(store))
+        while True:
+            chain = store.diffs_after(store.latest_full().step)
+            if budget is not None and len(chain) <= budget:
+                break
+            merged_any = False
+            for offset in range(0, len(chain) - 1, policy.compact_run):
+                run = chain[offset:offset + policy.compact_run]
+                if len(run) < 2:
+                    continue
+                if self._merge_run(run):
+                    report.runs_merged += 1
+                    merged_any = True
+            if not merged_any:
+                break
+            if budget is None:
+                break  # unbounded policy: one consolidation pass is enough
+        return report
+
+    def _merge_run(self, run: list[DiffCheckpointRecord]) -> bool:
+        """Merge one contiguous run into a super-diff record; False = skipped."""
+        store = self.store
+        with obs_span("compact.merge_run", "compaction",
+                      {"start": run[0].start, "end": run[-1].end,
+                       "records": len(run)}):
+            try:
+                payloads = [store.load_diff(r) for r in run]
+                merged = self.merge_payloads_ordered(payloads)
+            except Exception:
+                return False  # unreadable or un-addable payloads: leave run
+            count = sum(r.count for r in run)
+            (data, crc), view, buffer = self._serialize_diff(
+                run[0].start, run[-1].end, count, merged)
+            try:
+                store.replace_diff_run(run, data, crc, count=count)
+            finally:
+                if view is not None:
+                    view.release()
+                    self.buffers.release(buffer)
+        return True
+
+    # Rebase mode -----------------------------------------------------------
+    def _rebase(self) -> CompactionReport:
+        """Replay the chain onto the newest full; persist the result as a
+        new full at the chain head.
+
+        Uses :func:`repro.core.recovery.serial_recover` verbatim, so the
+        rebased full is bit-exact with the state an actual recovery (or
+        the uninterrupted run) would reach — for any optimizer.
+        """
+        from repro.core.recovery import serial_recover  # circular-safe
+        from repro.storage.serializer import CorruptCheckpointError
+
+        store = self.store
+        report = CompactionReport(mode="rebase", triggered=True,
+                                  records_before=self.policy.chain_records(store))
+        model = self.model_factory()
+        optimizer = self.optimizer_factory(model)
+        with obs_span("compact.rebase", "compaction",
+                      {"chain_records": report.records_before}):
+            try:
+                result = serial_recover(store, model, optimizer)
+            except CorruptCheckpointError:
+                # No verifiable base: compaction is opportunistic
+                # maintenance, not the recovery of last resort — give up
+                # this pass and leave the (corrupt) state for the real
+                # recovery path's fallback/quarantine machinery.
+                if OBS.enabled:
+                    OBS.registry.counter("compact.rebase_aborted").inc()
+                return report
+            if result.step > result.full_step:
+                store.save_full(result.step, model.state_dict(),
+                                optimizer.state_dict())
+                report.new_full_step = result.step
+        return report

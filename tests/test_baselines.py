@@ -117,6 +117,24 @@ class TestGemini:
         # GC keeps the memory tier bounded.
         assert len(ckpt.memory_tier.fulls()) <= 2
 
+    def test_memory_retention_is_configurable(self):
+        """The keep-N knob is a RetentionPolicy, not a hardcoded 2: a
+        deeper ring retains more snapshots, recovery stays exact."""
+        from repro.storage import RetentionPolicy
+
+        trainer = make_mlp_trainer()
+        ckpt = GeminiCheckpointer(
+            CheckpointStore(InMemoryBackend()), memory_every=1,
+            storage_every=50,
+            memory_retention=RetentionPolicy(keep_fulls=5))
+        ckpt.attach(trainer)
+        trainer.run(20)
+        assert len(ckpt.memory_tier.fulls()) == 5
+        model, optimizer = fresh_target()
+        result = ckpt.recover_memory(model, optimizer)
+        assert result.step == 20
+        assert_states_equal(model.state_dict(), trainer.model_state())
+
     def test_counts(self):
         trainer = make_mlp_trainer()
         ckpt = GeminiCheckpointer(CheckpointStore(InMemoryBackend()),

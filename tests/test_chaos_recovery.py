@@ -15,7 +15,12 @@ import os
 
 import pytest
 
-from repro.core import CheckpointConfig, FailureDrill, default_lowdiff_factory
+from repro.core import (
+    CheckpointConfig,
+    FailureDrill,
+    LowDiffCheckpointer,
+    default_lowdiff_factory,
+)
 from repro.optim import Adam
 from repro.storage import (
     ChaosBackend,
@@ -24,6 +29,7 @@ from repro.storage import (
     CheckpointStore as _Store,  # noqa: F401 (re-exported for drills)
     InMemoryBackend,
     ResilientBackend,
+    RetentionPolicy,
     RetryPolicy,
     TieredBackend,
     VirtualClock,
@@ -170,6 +176,49 @@ class TestChaosDrill:
         assert async_.storage_stats == sync.storage_stats
         assert async_.quarantined_keys == sync.quarantined_keys
         assert async_.reprocessed_iterations == sync.reprocessed_iterations
+
+
+class TestRetentionUnderChaos:
+    """The compaction chaos drill: retention + rebase compaction stay
+    bit-exact while the chaos layer tears writes, flips bits and crashes
+    the training process."""
+
+    @staticmethod
+    def make_retention_drill(store: CheckpointStore,
+                             seed: int = 5) -> FailureDrill:
+        mlp = lambda: MLP(8, [16, 16], 4, rng=Rng(0))
+        adam = lambda m: Adam(m, lr=1e-3)
+
+        def checkpointer_factory(s):
+            # Rebase mode (factories provided) keeps compaction bit-exact
+            # for Adam; max_chain_len < full_every means the chain budget
+            # fires between periodic fulls, while keep_fulls=2 preserves
+            # the corruption-fallback base the chaos layer demands.
+            return LowDiffCheckpointer(
+                s, CheckpointConfig(full_every_iters=8, batch_size=1),
+                retention=RetentionPolicy(keep_fulls=2, max_chain_len=6),
+                model_factory=mlp, optimizer_factory=adam)
+
+        return FailureDrill(
+            trainer_factory=lambda: make_mlp_trainer(seed=seed),
+            checkpointer_factory=checkpointer_factory,
+            model_factory=mlp,
+            optimizer_factory=adam,
+            store=store,
+        )
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_compaction_enabled_drill_bit_exact(self, seed):
+        store = make_chaos_store(seed)
+        report = self.make_retention_drill(store).run(
+            30, crash_at=[9, 21], reference_state=reference_state())
+        assert report.final_matches_reference
+        assert report.failures_injected == 2
+        # The policy actually did its job: the surviving chain is within
+        # budget and the store is audit-clean after all the chaos.
+        assert len(store.diffs_after(store.latest_full().step)) <= 6
+        audit = store.verify(deep=True)
+        assert audit["missing"] == []
 
 
 class TestPlantedCorruption:

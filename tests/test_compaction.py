@@ -1,0 +1,443 @@
+"""Tests for diff-chain compaction and crash-safe retention.
+
+Covers the :mod:`repro.storage.compaction` policy/compactor pair, the
+store's manifest-first compaction primitives, and the ISSUE acceptance
+drill: with compaction enabled, recovery from a >= 64-diff chain is
+bit-exact versus the uninterrupted run, worst-case diffs-replayed is
+bounded by the :class:`RetentionPolicy`, and a crash injected at *any*
+mutation inside ``gc()``/``compact()`` leaves the store recoverable with
+no manifest entry referencing a missing key.
+"""
+
+import copy
+import threading
+from functools import reduce
+
+import numpy as np
+import pytest
+
+from repro.compression import TopKCompressor
+from repro.core import CheckpointConfig, LowDiffCheckpointer
+from repro.core.recovery import serial_recover
+from repro.optim import SGD, Adam
+from repro.storage import (
+    ChainCompactor,
+    CheckpointStore,
+    InMemoryBackend,
+    RetentionPolicy,
+)
+from repro.storage.async_engine import AsyncCheckpointEngine
+from repro.storage.backends import StorageBackend
+from repro.tensor.models import MLP
+from repro.utils.rng import Rng
+from tests.helpers import (
+    assert_optimizers_equal,
+    assert_states_equal,
+    make_mlp_trainer,
+)
+
+
+def model_factory():
+    return MLP(6, [12], 3, rng=Rng(0))
+
+
+def adam_factory(model):
+    return Adam(model, lr=1e-2)
+
+
+def sgd_factory(model):
+    return SGD(model, lr=0.05)
+
+
+def build_chain(steps, full_every=None, optimizer_factory=adam_factory,
+                seed=3, rho=0.25, backend=None):
+    """Synthetic training chain: full at 0, one single-step diff per step.
+
+    Returns ``(store, snapshots)`` where ``snapshots[s]`` is the exact
+    ``(model_state, optimizer_state)`` after ``s`` optimizer steps —
+    the ground truth every bit-exact assertion compares against.
+    """
+    model = model_factory()
+    optimizer = optimizer_factory(model)
+    store = CheckpointStore(backend or InMemoryBackend())
+    compressor = TopKCompressor(rho)
+    grad_rng = np.random.default_rng(seed)
+    snap = lambda: (copy.deepcopy(model.state_dict()),
+                    copy.deepcopy(optimizer.state_dict()))
+    store.save_full(0, *snap()[:2])
+    snapshots = {0: snap()}
+    for step in range(1, steps + 1):
+        grads = {name: grad_rng.normal(size=value.shape).astype(np.float32)
+                 for name, value in model.state_dict().items()}
+        payload = compressor.compress(grads)
+        optimizer.step_with(payload.decompress())
+        store.save_diff(step, step, payload)
+        snapshots[step] = snap()
+        if full_every and step % full_every == 0:
+            store.save_full(step, *snap()[:2])
+    return store, snapshots
+
+
+def recover_fresh(store, optimizer_factory=adam_factory):
+    model = model_factory()
+    optimizer = optimizer_factory(model)
+    result = serial_recover(store, model, optimizer)
+    return result, model, optimizer
+
+
+def assert_no_dangling_manifest(store):
+    """The crash-ordering invariant: no manifest entry names a missing key."""
+    audit = store.verify(deep=True)
+    assert audit["missing"] == []
+    assert audit["corrupt"] == []
+
+
+class TestRetentionPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetentionPolicy(keep_fulls=0)
+        with pytest.raises(ValueError):
+            RetentionPolicy(max_chain_len=0)
+        with pytest.raises(ValueError):
+            RetentionPolicy(compact_run=1)
+
+    def test_recovery_cost_model(self):
+        policy = RetentionPolicy(load_full_s=2.0, replay_diff_s=0.5)
+        assert policy.recovery_cost_s(0) == 2.0
+        assert policy.recovery_cost_s(6) == pytest.approx(5.0)
+
+    def test_chain_budget_is_min_of_triggers(self):
+        assert RetentionPolicy().chain_budget() is None
+        assert RetentionPolicy(max_chain_len=10).chain_budget() == 10
+        cost_only = RetentionPolicy(max_recovery_cost_s=5.0, load_full_s=1.0,
+                                    replay_diff_s=1.0)
+        assert cost_only.chain_budget() == 4
+        both = RetentionPolicy(max_chain_len=10, max_recovery_cost_s=5.0,
+                               load_full_s=1.0, replay_diff_s=1.0)
+        assert both.chain_budget() == 4
+
+    def test_should_compact_reads_live_chain(self):
+        store, _ = build_chain(steps=6)
+        assert RetentionPolicy(max_chain_len=4).chain_records(store) == 6
+        assert RetentionPolicy(max_chain_len=4).should_compact(store)
+        assert not RetentionPolicy(max_chain_len=8).should_compact(store)
+        assert not RetentionPolicy().should_compact(store)  # no trigger set
+        empty = CheckpointStore(InMemoryBackend())
+        assert RetentionPolicy(max_chain_len=1).chain_records(empty) == 0
+        assert not RetentionPolicy(max_chain_len=1).should_compact(empty)
+
+    def test_apply_gc_delegates_to_store(self):
+        store, _ = build_chain(steps=12, full_every=4)  # fulls 0, 4, 8, 12
+        deleted = RetentionPolicy(keep_fulls=2).apply_gc(store)
+        assert [r.step for r in store.fulls()] == [8, 12]
+        assert deleted > 0
+
+
+class TestMergeMode:
+    def test_merge_payloads_ordered_matches_left_fold(self):
+        rng = np.random.default_rng(7)
+        grads = [{"w": rng.normal(size=(32,)).astype(np.float32)}
+                 for _ in range(5)]
+        payloads = [TopKCompressor(0.5).compress(g) for g in grads]
+        merged = ChainCompactor.merge_payloads_ordered(payloads)
+        folded = reduce(lambda a, b: a.add(b), payloads)
+        np.testing.assert_array_equal(merged.decompress()["w"],
+                                      folded.decompress()["w"])
+
+    def test_super_diff_payload_is_exact_fold_of_replaced_records(self):
+        store, _ = build_chain(steps=8)
+        originals = [store.load_diff(r) for r in store.diffs_after(0)]
+        policy = RetentionPolicy(max_chain_len=2, compact_run=4)
+        report = store.compact(policy)  # no factories -> merge mode
+        assert report.mode == "merge"
+        chain = store.diffs_after(0)
+        assert len(chain) == 2 and chain[0].count == 4 and chain[1].count == 4
+        for record, chunk in zip(chain, (originals[:4], originals[4:])):
+            expected = reduce(lambda a, b: a.add(b), chunk)
+            loaded = store.load_diff(record)
+            for name, value in expected.decompress().items():
+                np.testing.assert_array_equal(loaded.decompress()[name], value)
+
+    def test_merge_bounds_chain_and_recovery_stays_close(self):
+        store, snapshots = build_chain(steps=12, optimizer_factory=sgd_factory)
+        policy = RetentionPolicy(max_chain_len=4, compact_run=4)
+        report = store.compact(policy)
+        assert report.triggered and report.mode == "merge"
+        assert report.runs_merged == 3
+        assert report.records_after == 3 <= 4
+        assert report.records_before == 12
+        assert report.reclaimed_bytes > 0
+        # Replay count (the represented gradient total) is preserved.
+        assert sum(r.count for r in store.diffs_after(0)) == 12
+        result, model, optimizer = recover_fresh(store, sgd_factory)
+        assert result.step == 12
+        assert result.diffs_loaded == 3  # bounded by the policy
+        # Plain SGD is linear in the gradient, so the merged replay agrees
+        # with per-step replay up to float association order.
+        assert_states_equal(model.state_dict(), snapshots[12][0],
+                            exact=False, atol=1e-5)
+
+    def test_repeated_passes_fold_super_diffs(self):
+        store, _ = build_chain(steps=20, optimizer_factory=sgd_factory)
+        report = store.compact(RetentionPolicy(max_chain_len=2, compact_run=4))
+        assert report.records_after <= 2
+        assert sum(r.count for r in store.diffs_after(0)) == 20
+        result, _, _ = recover_fresh(store, sgd_factory)
+        assert result.step == 20
+
+    def test_enforce_is_noop_within_budget(self):
+        store, _ = build_chain(steps=3)
+        compactor = ChainCompactor(store, RetentionPolicy(max_chain_len=4))
+        assert compactor.enforce() is None
+        assert compactor.maybe_enforce() is None
+        assert len(store.diffs()) == 3  # untouched
+
+    def test_run_once_on_empty_store_is_noop(self):
+        store = CheckpointStore(InMemoryBackend())
+        report = store.compact(RetentionPolicy(max_chain_len=1))
+        assert report.mode == "noop" and not report.triggered
+
+
+class TestRebaseMode:
+    def test_rebase_without_factories_rejected(self):
+        store, _ = build_chain(steps=2)
+        with pytest.raises(ValueError):
+            ChainCompactor(store, RetentionPolicy(), mode="rebase")
+
+    def test_64_diff_chain_bit_exact_and_bounded(self):
+        """The ISSUE acceptance drill: a >= 64-record chain under Adam,
+        compacted by rebase, recovers bit-exact with bounded replay."""
+        store, snapshots = build_chain(steps=64)
+        policy = RetentionPolicy(keep_fulls=1, max_chain_len=8)
+        compactor = ChainCompactor(store, policy,
+                                   model_factory=model_factory,
+                                   optimizer_factory=adam_factory)
+        report = compactor.enforce()
+        assert report.mode == "rebase"
+        assert report.new_full_step == 64
+        assert report.records_before == 64
+        assert report.records_after == 0 <= policy.chain_budget()
+        # keep_fulls=1 prunes the old base and the whole replayed chain.
+        assert [r.step for r in store.fulls()] == [64]
+        assert store.diffs() == []
+        assert_no_dangling_manifest(store)
+        result, model, optimizer = recover_fresh(store)
+        assert result.step == 64
+        assert result.diffs_loaded <= policy.chain_budget()
+        assert_states_equal(model.state_dict(), snapshots[64][0])
+        assert_optimizers_equal(optimizer.state_dict(), snapshots[64][1])
+
+    def test_auto_trigger_bounds_chain_during_training(self):
+        """End-to-end: a LowDiffCheckpointer with a retention policy keeps
+        the live chain within budget (compaction fires between fulls) and
+        recovery stays bit-exact with the uninterrupted trainer."""
+        trainer = make_mlp_trainer(seed=5)
+        store = CheckpointStore(InMemoryBackend())
+        policy = RetentionPolicy(keep_fulls=1, max_chain_len=6)
+        mlp8 = lambda: MLP(8, [16, 16], 4, rng=Rng(0))
+        adam3 = lambda m: Adam(m, lr=1e-3)
+        ckpt = LowDiffCheckpointer(
+            store, CheckpointConfig(full_every_iters=100, batch_size=1),
+            retention=policy, model_factory=mlp8, optimizer_factory=adam3)
+        ckpt.attach(trainer)
+        trainer.run(30)
+        ckpt.finalize()
+        assert any(r.triggered and r.mode == "rebase"
+                   for r in ckpt.compactor.reports)
+        assert policy.chain_records(store) <= policy.chain_budget()
+        assert_no_dangling_manifest(store)
+        model = mlp8()
+        optimizer = adam3(model)
+        result = serial_recover(store, model, optimizer)
+        assert result.step == 30
+        assert result.diffs_loaded <= policy.chain_budget()
+        assert_states_equal(model.state_dict(), trainer.model_state())
+
+
+class TestBoundaryCases:
+    def test_gc_drops_diff_ending_exactly_at_retained_horizon(self):
+        """A diff whose range ends exactly at the oldest retained full's
+        step is unreachable (recovery starts *at* that full) and must go;
+        the diff starting one past it must stay."""
+        store, snapshots = build_chain(steps=10, full_every=4)  # fulls 0,4,8
+        store.gc(keep_fulls=2)  # retains fulls 4 and 8; horizon = 4
+        ranges = [(r.start, r.end) for r in store.diffs()]
+        assert (4, 4) not in ranges
+        assert (5, 5) in ranges
+        assert [r.step for r in store.fulls()] == [4, 8]
+        # The surviving chain is contiguous from the horizon onward and
+        # replays bit-exact to the end.
+        assert [r.start for r in store.diffs_after(4)] == list(range(5, 11))
+        assert_no_dangling_manifest(store)
+        result, model, optimizer = recover_fresh(store)
+        assert result.step == 10
+        assert_states_equal(model.state_dict(), snapshots[10][0])
+        assert_optimizers_equal(optimizer.state_dict(), snapshots[10][1])
+
+    def test_verify_repair_commits_manifest_with_only_corrupt_records(self):
+        """repair=True with corrupt (but not missing) blobs must still
+        commit the pruned manifest: a reopened store may not reference
+        the quarantined key."""
+        store, _ = build_chain(steps=3)
+        victim = store.diffs()[1]
+        raw = bytearray(store.backend.read(victim.key))
+        raw[len(raw) // 2] ^= 0xFF
+        store.backend.write(victim.key, bytes(raw))
+        report = store.verify(deep=True, repair=True)
+        assert report["corrupt"] == [victim.key]
+        assert report["missing"] == []
+        assert victim.key in store.quarantined
+        reopened = CheckpointStore(store.backend)
+        assert victim.key not in [r.key for r in reopened.diffs()]
+        assert_no_dangling_manifest(reopened)
+        # The corrupt bytes are preserved for post-mortems.
+        assert store.backend.exists("quarantine/" + victim.key)
+
+    def test_purge_unreferenced_racing_async_persist(self):
+        """gc's unreferenced-key sweep must never vaporize a write the
+        async engine is committing concurrently: every submitted record
+        survives, verifies deep, and forms a contiguous chain."""
+        store = CheckpointStore(InMemoryBackend())
+        store.save_full(0, {"w": np.zeros(4)}, {"type": "none",
+                                                "step_count": 0, "slots": {}})
+        engine = AsyncCheckpointEngine(store, num_writers=2, queue_depth=4)
+        rng = np.random.default_rng(11)
+        payloads = [TopKCompressor(0.5).compress(
+            {"w": rng.normal(size=(64,)).astype(np.float32)})
+            for _ in range(40)]
+        stop = threading.Event()
+
+        def writer():
+            for step, payload in enumerate(payloads, start=1):
+                engine.save_diff(step, step, payload)
+            engine.drain()
+            stop.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        sweeps = 0
+        while not stop.is_set():
+            store.gc(keep_fulls=1)
+            sweeps += 1
+        thread.join()
+        engine.finalize()
+        store.gc(keep_fulls=1)
+        assert sweeps > 0
+        assert len(store.diffs_after(0)) == 40  # nothing lost to the race
+        assert_no_dangling_manifest(store)
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by :class:`CrashingBackend` at the injected crash point."""
+
+
+class CrashingBackend(StorageBackend):
+    """Forwarding backend that dies on the Nth mutating operation.
+
+    ``crash_after=k`` lets the first ``k`` mutations (writes + deletes)
+    through and raises on mutation ``k+1`` — scanning ``k`` over a whole
+    operation exercises a crash at *every* point of its mutation
+    sequence.  Reads never crash (the dying process isn't the one that
+    recovers).
+    """
+
+    def __init__(self, inner: StorageBackend, crash_after: int | None = None):
+        super().__init__()
+        self.inner = inner
+        self.crash_after = crash_after
+        self.mutations = 0
+
+    def _tick(self) -> None:
+        self.mutations += 1
+        if self.crash_after is not None and self.mutations > self.crash_after:
+            raise SimulatedCrash(f"injected crash at mutation {self.mutations}")
+
+    def _write(self, key, data):
+        self._tick()
+        self.inner.write(key, data)
+
+    def _read(self, key):
+        return self.inner.read(key)
+
+    def exists(self, key):
+        return self.inner.exists(key)
+
+    def delete(self, key):
+        self._tick()
+        self.inner.delete(key)
+
+    def list_keys(self, prefix=""):
+        return self.inner.list_keys(prefix)
+
+    def purge_debris(self):
+        return self.inner.purge_debris()
+
+
+def clone_backend(src: StorageBackend) -> InMemoryBackend:
+    clone = InMemoryBackend()
+    for key in src.list_keys(""):
+        clone.write(key, src.read(key))
+    return clone
+
+
+def count_mutations(backend: StorageBackend, op) -> int:
+    """Dry-run ``op`` against a clone to learn its total mutation count."""
+    probe = CrashingBackend(clone_backend(backend))
+    op(CheckpointStore(probe))
+    return probe.mutations
+
+
+@pytest.mark.chaos
+class TestCrashDrills:
+    """Crash at every mutation inside gc()/compact(): the reopened store
+    must verify clean (no manifest entry naming a missing key) and
+    recover — bit-exact where the mode guarantees it."""
+
+    def _drill(self, backend, snapshots, op, *, final_step,
+               optimizer_factory=adam_factory, exact=True):
+        total = count_mutations(backend, op)
+        assert total > 0
+        for crash_after in range(total):
+            inner = clone_backend(backend)
+            store = CheckpointStore(CrashingBackend(inner, crash_after))
+            with pytest.raises(SimulatedCrash):
+                op(store)
+            reopened = CheckpointStore(inner)  # "restart after the crash"
+            assert_no_dangling_manifest(reopened)
+            result, model, optimizer = recover_fresh(reopened,
+                                                     optimizer_factory)
+            assert result.step == final_step, f"crash_after={crash_after}"
+            if exact:
+                assert_states_equal(model.state_dict(),
+                                    snapshots[final_step][0])
+                assert_optimizers_equal(optimizer.state_dict(),
+                                        snapshots[final_step][1])
+            else:
+                assert_states_equal(model.state_dict(),
+                                    snapshots[final_step][0],
+                                    exact=False, atol=1e-5)
+
+    def test_crash_inside_gc(self):
+        backend = InMemoryBackend()
+        _, snapshots = build_chain(steps=12, full_every=4, backend=backend)
+        self._drill(backend, snapshots,
+                    lambda store: store.gc(keep_fulls=2), final_step=12)
+
+    def test_crash_inside_rebase_compaction(self):
+        backend = InMemoryBackend()
+        _, snapshots = build_chain(steps=12, backend=backend)
+        policy = RetentionPolicy(keep_fulls=1, max_chain_len=4)
+        self._drill(
+            backend, snapshots,
+            lambda store: store.compact(policy, model_factory=model_factory,
+                                        optimizer_factory=adam_factory),
+            final_step=12)
+
+    def test_crash_inside_merge_compaction(self):
+        backend = InMemoryBackend()
+        _, snapshots = build_chain(steps=12, optimizer_factory=sgd_factory,
+                                   backend=backend)
+        policy = RetentionPolicy(keep_fulls=1, max_chain_len=4, compact_run=4)
+        self._drill(backend, snapshots,
+                    lambda store: store.compact(policy),
+                    final_step=12, optimizer_factory=sgd_factory, exact=False)

@@ -234,3 +234,106 @@ class TestSchedulers:
             CosineAnnealingLR(self.make_opt(), total_steps=0)
         with pytest.raises(ValueError):
             WarmupLR(self.make_opt(), warmup_steps=0)
+
+    def test_explicit_base_lr_overrides_capture(self):
+        opt = self.make_opt()
+        sched = ConstantLR(opt, base_lr=0.25)
+        assert sched.lr_at(0) == 0.25
+
+
+class TestResumeMidWarmup:
+    """The resume-mid-warmup bit-exact-lr contract.
+
+    ``load_state_dict`` restores the *live* (warmup-scaled) lr into the
+    optimizer; a scheduler stack rebuilt afterwards used to capture that
+    value as its base lr and compute every subsequent lr from the wrong
+    anchor.  Schedulers now anchor on ``initial_lr`` (the constructor
+    rate), so the rebuilt stack reproduces the uninterrupted lr sequence
+    exactly.
+    """
+
+    STEPS = 30
+    CRASH_AT = 4  # mid-warmup
+
+    @staticmethod
+    def make_opt():
+        return SGD(make_params([[1.0]]), lr=1.0)
+
+    @staticmethod
+    def make_sched(opt):
+        return WarmupLR(opt, warmup_steps=10,
+                        after=CosineAnnealingLR(opt, total_steps=20))
+
+    @classmethod
+    def drive(cls, opt, sched, steps):
+        lrs = []
+        for _ in range(steps):
+            lrs.append(sched.step())
+            opt.step_with({"p0": np.array([0.0])})
+        return lrs
+
+    def test_rebuilt_schedule_resumes_exactly(self):
+        opt = self.make_opt()
+        lrs = self.drive(opt, self.make_sched(opt), self.STEPS)
+
+        live = self.make_opt()
+        self.drive(live, self.make_sched(live), self.CRASH_AT)
+        checkpoint = live.state_dict()
+        assert checkpoint["lr"] != 1.0  # live lr is warmup-scaled
+
+        resumed = self.make_opt()
+        resumed.load_state_dict(checkpoint)
+        sched = self.make_sched(resumed)
+        # The old bug: both the warmup wrapper and the wrapped schedule
+        # captured the warmup-scaled live lr as their base.
+        assert sched.base_lr == 1.0
+        assert sched.after.base_lr == 1.0
+        resumed_lrs = self.drive(resumed, sched, self.STEPS - self.CRASH_AT)
+        assert resumed_lrs == lrs[self.CRASH_AT:]  # bit-exact
+
+    def test_recovery_replay_resumes_warmup_lr(self):
+        """Same contract through the real recovery path: a full checkpoint
+        saved mid-warmup, recovered with ``serial_recover``, scheduler
+        stack rebuilt against the recovered optimizer."""
+        from repro.core.recovery import serial_recover
+        from repro.storage import CheckpointStore, InMemoryBackend
+        from repro.tensor.models import MLP
+
+        def build():
+            model = MLP(4, [8], 2, rng=Rng(0))
+            return model, SGD(model.parameters(), lr=1.0)
+
+        def grads_at(model, step):
+            rng = Rng(11).child(step)
+            return {name: rng.child(name).normal(size=p.shape)
+                    for name, p in model.named_parameters()}
+
+        # Uninterrupted run.
+        model, opt = build()
+        sched = self.make_sched(opt)
+        lrs = []
+        for step in range(self.STEPS):
+            lrs.append(sched.step())
+            opt.step_with(grads_at(model, step))
+        reference = model.state_dict()
+
+        # Crashed run: checkpoint mid-warmup, crash, recover, resume.
+        store = CheckpointStore(InMemoryBackend())
+        model, opt = build()
+        sched = self.make_sched(opt)
+        resumed_lrs = []
+        for step in range(self.CRASH_AT):
+            resumed_lrs.append(sched.step())
+            opt.step_with(grads_at(model, step))
+        store.save_full(self.CRASH_AT, model.state_dict(), opt.state_dict())
+
+        model, opt = build()
+        result = serial_recover(store, model, opt)
+        assert result.step == self.CRASH_AT
+        sched = self.make_sched(opt)
+        for step in range(self.CRASH_AT, self.STEPS):
+            resumed_lrs.append(sched.step())
+            opt.step_with(grads_at(model, step))
+        assert resumed_lrs == lrs  # bit-exact lr sequence
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, reference[name])

@@ -37,6 +37,20 @@ class TestFailureSchedules:
         schedule = fixed_mtbf_schedule(500.0, 1000.0)
         assert schedule.count == 1
 
+    def test_fixed_schedule_exact_grid_long_horizon(self):
+        """Every event sits exactly on k*mtbf, even 10k events out.
+
+        Regression: the schedule used to accumulate ``t += mtbf_s``, so
+        with a non-dyadic mtbf (0.1 here) float drift compounded one ulp
+        per event and late events slid off the grid the paper's
+        methodology specifies.
+        """
+        mtbf = 0.1
+        schedule = fixed_mtbf_schedule(mtbf, 1000.0)
+        assert schedule.count == 9999
+        for k, event in enumerate(schedule.events, start=1):
+            assert event.time_s == k * mtbf  # exact, not approx
+
     def test_exponential_schedule_mean_gap(self):
         schedule = exponential_mtbf_schedule(100.0, 100_000.0, Rng(0))
         gaps = []

@@ -11,11 +11,18 @@ from __future__ import annotations
 
 from repro.core.lowdiff import FullSnapshot
 from repro.core.recovery import RecoveryResult, serial_recover
+from repro.obs import OBS
 from repro.optim.optimizer import Optimizer
 from repro.storage.backends import InMemoryBackend
 from repro.storage.checkpoint_store import CheckpointStore
 from repro.storage.compaction import RetentionPolicy
+from repro.storage.serializer import CorruptCheckpointError
 from repro.tensor.module import Module
+
+#: Memory-tier conditions the two-tier ladder degrades past: an empty or
+#: wiped tier (no fulls), a corrupt one (every candidate fails its CRC),
+#: or records whose blobs vanished with a lost peer.
+_MEMORY_TIER_FAILURES = (CorruptCheckpointError, FileNotFoundError, KeyError)
 
 
 class GeminiCheckpointer:
@@ -42,17 +49,25 @@ class GeminiCheckpointer:
         self.storage_every = int(storage_every)
         self.memory_checkpoints = 0
         self.storage_checkpoints = 0
+        self.memory_tier_losses = 0
+        self.last_recovery_tier: str | None = None
+        self.recoveries_by_tier = {"memory": 0, "storage": 0}
         self._trainer = None
 
-    def attach(self, trainer) -> None:
+    def attach(self, trainer, resume_from: int | None = None) -> None:
+        """Write the base full at step 0, or at ``resume_from`` when a
+        recovered job restarts (so both tiers have a base at the resumed
+        step, like the LowDiff checkpointer's chain restart)."""
         self._trainer = trainer
         snapshot = FullSnapshot(
-            step=0,
+            step=0 if resume_from is None else int(resume_from),
             model_state=trainer.model_state(),
             optimizer_state=trainer.optimizer_state(),
         )
-        self.store.save_full(0, snapshot.model_state, snapshot.optimizer_state)
-        self.memory_tier.save_full(0, snapshot.model_state, snapshot.optimizer_state)
+        self.store.save_full(snapshot.step, snapshot.model_state,
+                             snapshot.optimizer_state)
+        self.memory_tier.save_full(snapshot.step, snapshot.model_state,
+                                   snapshot.optimizer_state)
         self.storage_checkpoints += 1
         self.memory_checkpoints += 1
         trainer.register_post_update_hook(self._on_post_update)
@@ -87,7 +102,35 @@ class GeminiCheckpointer:
 
     def recover(self, model: Module, optimizer: Optimizer,
                 parallel: bool = False) -> RecoveryResult:
-        return self.recover_memory(model, optimizer)
+        """Restore from the cheapest *valid* tier: memory, then storage.
+
+        The memory tier is tried first (it holds the freshest snapshots)
+        but an empty, corrupt, or correlated-loss-wiped tier falls back
+        to durable storage instead of failing the recovery outright.
+        ``stats()["last_recovery_tier"]`` records which tier served.
+        """
+        try:
+            result = self.recover_memory(model, optimizer)
+        except _MEMORY_TIER_FAILURES:
+            result = self.recover_storage(model, optimizer)
+            tier = "storage"
+        else:
+            tier = "memory"
+        self.last_recovery_tier = tier
+        self.recoveries_by_tier[tier] += 1
+        if OBS.enabled:
+            OBS.registry.counter(f"ckpt.gemini.recover.{tier}").inc()
+        return result
+
+    def lose_memory_tier(self) -> None:
+        """Correlated peer failure: every replica holder died, taking the
+        CPU-memory tier with them.  The tier is replaced by an empty one
+        (the durable store is untouched), so the next ``recover`` falls
+        back to storage."""
+        self.memory_tier = CheckpointStore(InMemoryBackend())
+        self.memory_tier_losses += 1
+        if OBS.enabled:
+            OBS.registry.counter("ckpt.gemini.memory_tier_losses").inc()
 
     def stats(self) -> dict:
         return {
@@ -95,4 +138,7 @@ class GeminiCheckpointer:
             "storage_checkpoints": self.storage_checkpoints,
             "memory_bytes": self.memory_tier.storage_bytes(),
             "storage_bytes": self.store.storage_bytes(),
+            "memory_tier_losses": self.memory_tier_losses,
+            "last_recovery_tier": self.last_recovery_tier,
+            "recoveries_by_tier": dict(self.recoveries_by_tier),
         }

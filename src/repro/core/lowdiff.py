@@ -280,6 +280,24 @@ class LowDiffCheckpointer:
         if self.engine is not None:
             self.engine.abort()
 
+    def quiesce(self, timeout: float | None = None) -> None:
+        """Deadline-bounded stop for supervisor-orchestrated recovery.
+
+        Closes the queue, discards the writer's partial batch (in-flight
+        diffs newer than the last committed record die here — recovery
+        must only see the committed full+chain prefix), and drains the
+        async engine within ``timeout`` seconds.  A stuck backend raises
+        :class:`~repro.storage.async_engine.DrainTimeout` after dropping
+        queued writes instead of hanging recovery forever.  The
+        checkpointer is dead afterwards; recovery attaches a fresh one.
+        """
+        self.queue.close()
+        if self._worker is not None:
+            self._worker.join(timeout=30.0)
+        self.writer.discard_pending()
+        if self.engine is not None:
+            self.engine.drain(timeout=timeout)
+
     # Recovery ----------------------------------------------------------------------
     def recover(self, model, optimizer, parallel: bool = False) -> RecoveryResult:
         """Restore ``model``/``optimizer`` from the persisted series."""

@@ -32,6 +32,23 @@ from repro.distributed.worker import SimWorker
 from repro.distributed.trainer import DataParallelTrainer, IterationRecord
 from repro.distributed.pipeline import PipelineParallelTrainer, split_stages
 from repro.distributed.zero import ZeroDataParallelTrainer, shard_owner
+from repro.distributed.faults import (
+    FailureDomainTopology,
+    FaultKind,
+    WorkerCrashed,
+    WorkerFault,
+    WorkerFaultInjector,
+)
+from repro.distributed.supervisor import (
+    ClusterSupervisor,
+    DegradedInterval,
+    DetectionEvent,
+    RecoveryEvent,
+    SupervisedTrainingLoop,
+    SupervisorConfig,
+    SupervisorReport,
+    WorkerStatus,
+)
 
 __all__ = [
     "CommStats",
@@ -51,4 +68,17 @@ __all__ = [
     "split_stages",
     "ZeroDataParallelTrainer",
     "shard_owner",
+    "FailureDomainTopology",
+    "FaultKind",
+    "WorkerCrashed",
+    "WorkerFault",
+    "WorkerFaultInjector",
+    "ClusterSupervisor",
+    "DegradedInterval",
+    "DetectionEvent",
+    "RecoveryEvent",
+    "SupervisedTrainingLoop",
+    "SupervisorConfig",
+    "SupervisorReport",
+    "WorkerStatus",
 ]

@@ -1,0 +1,374 @@
+"""Worker-level fault injection over a failure-domain topology.
+
+The storage layer already has seeded chaos (``ChaosBackend``) and the
+functional drills crash whole trainer processes at chosen iterations
+(``core/failure_harness.py``); what neither models is the failure
+*spectrum* a cluster supervisor actually faces: a worker process dying
+(replica lost, machine reboots), a hang or straggler (state intact,
+heartbeats stop or slow), a network partition at the collectives layer
+(a healthy worker the group cannot reach), and correlated domain-wide
+loss — a host or rack taking every worker it contains, including all
+holders of a Gemini/Checkmate-style peer replica (PAPERS.md, arXiv
+2507.13522), which forces recovery back to the durable full+diff chain.
+
+:class:`WorkerFaultInjector` executes that spectrum deterministically:
+faults are scheduled at training iterations (one-shot, keyed on an
+iteration high-watermark so a post-rollback re-run never re-fires them),
+durations run on the shared :class:`~repro.storage.resilience.VirtualClock`
+(so healing can happen *mid-recovery* while the supervisor backs off),
+and random plans come from a seeded :class:`~repro.utils.rng.Rng`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.resilience import VirtualClock
+from repro.utils.rng import Rng
+
+
+class FaultKind:
+    """Worker-level fault taxonomy (string constants, not an enum, so sim
+    schedules and reports can carry them without imports)."""
+
+    CRASH = "crash"            # process dies: replica lost, machine down
+    HANG = "hang"              # unresponsive, state intact (GC pause, livelock)
+    SLOW = "slow"              # straggler: heartbeats flow, steps dilate
+    PARTITION = "partition"    # unreachable at the collectives layer
+    DOMAIN = "domain"          # correlated: every worker in a host/rack dies
+    REPLICA_LOSS = "replica_loss"  # peer-memory checkpoint tier wiped
+
+    ALL = (CRASH, HANG, SLOW, PARTITION, DOMAIN, REPLICA_LOSS)
+
+
+class WorkerCrashed(RuntimeError):
+    """Raised inside the gradient collective when a peer dies in flight.
+
+    Aborts the step before any state mutates (the trainer's collective
+    gate contract), exactly like a real NCCL communicator error.
+    """
+
+    def __init__(self, ranks: tuple[int, ...], iteration: int):
+        super().__init__(
+            f"worker(s) {sorted(ranks)} crashed during the iteration-"
+            f"{iteration} collective")
+        self.ranks = tuple(ranks)
+        self.iteration = iteration
+
+
+@dataclass(frozen=True)
+class FailureDomainTopology:
+    """Declared worker -> host -> rack containment.
+
+    ``host_of[rank]`` names the host a worker runs on; ``rack_of[host]``
+    names its rack.  A correlated (``domain``) fault resolves a domain
+    name to every worker it contains.
+    """
+
+    host_of: tuple[str, ...]          # index = rank
+    rack_of: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.host_of:
+            raise ValueError("topology needs at least one worker")
+        missing = [h for h in set(self.host_of) if h not in self.rack_of]
+        if missing and self.rack_of:
+            raise ValueError(f"hosts without a rack: {sorted(missing)}")
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.host_of)
+
+    def host(self, rank: int) -> str:
+        return self.host_of[rank]
+
+    def rack(self, rank: int) -> str:
+        return self.rack_of.get(self.host_of[rank], self.host_of[rank])
+
+    def members(self, domain: str) -> tuple[int, ...]:
+        """Every rank inside ``domain`` (a host or rack name)."""
+        ranks = tuple(
+            rank for rank in range(self.num_workers)
+            if self.host_of[rank] == domain or self.rack(rank) == domain
+        )
+        if not ranks:
+            raise KeyError(f"unknown failure domain {domain!r}")
+        return ranks
+
+    def domains(self) -> dict[str, tuple[int, ...]]:
+        """All named domains (hosts and racks) and their members."""
+        out: dict[str, tuple[int, ...]] = {}
+        for name in (*self.host_of, *self.rack_of.values()):
+            if name not in out:
+                out[name] = self.members(name)
+        return out
+
+    @staticmethod
+    def regular(num_workers: int, workers_per_host: int = 2,
+                hosts_per_rack: int = 2) -> "FailureDomainTopology":
+        """Evenly-packed topology: ``host<i>`` / ``rack<j>``."""
+        if num_workers < 1 or workers_per_host < 1 or hosts_per_rack < 1:
+            raise ValueError("topology dimensions must be >= 1")
+        host_of = tuple(f"host{r // workers_per_host}"
+                        for r in range(num_workers))
+        rack_of = {host: f"rack{int(host[4:]) // hosts_per_rack}"
+                   for host in set(host_of)}
+        return FailureDomainTopology(host_of=host_of, rack_of=rack_of)
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One scheduled fault.
+
+    ``at_iteration`` is the training iteration the fault activates at
+    (before the step runs, or inside the collective for ``in_flight``
+    crashes).  Durations are virtual seconds: ``down_s`` is how long a
+    crashed machine stays unrestorable, ``duration_s`` how long a
+    hang/slow/partition lasts (``inf`` = until externally healed).
+    """
+
+    kind: str
+    at_iteration: int
+    rank: int | None = None
+    ranks: tuple[int, ...] = ()        # partition groups / explicit sets
+    domain: str | None = None          # DOMAIN faults: host or rack name
+    down_s: float = 0.0                # CRASH/DOMAIN: machine-down window
+    duration_s: float = float("inf")   # HANG/SLOW/PARTITION lifetime
+    slow_factor: float = 1.0           # SLOW: step-time dilation
+    in_flight: bool = False            # CRASH strikes inside the allreduce
+    wipe_replicas: bool = False        # also destroy the peer-memory tier
+
+    def __post_init__(self):
+        if self.kind not in FaultKind.ALL:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at_iteration < 0:
+            raise ValueError("at_iteration must be >= 0")
+        if self.kind in (FaultKind.CRASH, FaultKind.HANG, FaultKind.SLOW) \
+                and self.rank is None and not self.ranks:
+            raise ValueError(f"{self.kind} fault needs a target rank")
+        if self.kind == FaultKind.PARTITION and not self.ranks \
+                and self.rank is None:
+            raise ValueError("partition fault needs a rank group")
+        if self.kind == FaultKind.DOMAIN and self.domain is None:
+            raise ValueError("domain fault needs a domain name")
+        if self.kind == FaultKind.SLOW and self.slow_factor < 1.0:
+            raise ValueError("slow_factor must be >= 1.0")
+
+    def targets(self, topology: FailureDomainTopology | None) -> tuple[int, ...]:
+        """Ranks this fault strikes."""
+        if self.kind == FaultKind.DOMAIN:
+            if topology is None:
+                raise ValueError("domain fault needs a topology to resolve")
+            return topology.members(self.domain)
+        if self.ranks:
+            return self.ranks
+        return () if self.rank is None else (self.rank,)
+
+
+class WorkerFaultInjector:
+    """Deterministic executor of a :class:`WorkerFault` schedule.
+
+    Faults activate when the training loop's iteration high-watermark
+    first reaches ``at_iteration`` (one-shot: re-running iterations after
+    a rollback never re-fires a fault).  Responsiveness, machine-down
+    windows, and healing are evaluated against the shared virtual clock,
+    so a supervisor advancing the clock while it quiesces or backs off
+    observes partitions healing mid-recovery.
+    """
+
+    def __init__(self, num_workers: int,
+                 topology: FailureDomainTopology | None = None,
+                 faults: list[WorkerFault] | tuple[WorkerFault, ...] = (),
+                 clock: VirtualClock | None = None):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = int(num_workers)
+        self.topology = topology
+        self.clock = clock or VirtualClock()
+        self._pending: list[WorkerFault] = sorted(
+            faults, key=lambda f: f.at_iteration)
+        self._armed_in_flight: list[WorkerFault] = []
+        self._watermark = -1
+        # Live fault state, all keyed by rank -----------------------------
+        self.crashed: dict[int, float] = {}       # rank -> machine-up time
+        self.hung_until: dict[int, float] = {}
+        self.partitioned_until: dict[int, float] = {}
+        self.slow_until: dict[int, tuple[float, float]] = {}  # (until, factor)
+        self.activated: list[tuple[float, WorkerFault]] = []
+        self.replica_wipes = 0
+
+    # Scheduling -----------------------------------------------------------
+    def schedule(self, fault: WorkerFault) -> None:
+        self._pending.append(fault)
+        self._pending.sort(key=lambda f: f.at_iteration)
+
+    @staticmethod
+    def random_plan(num_workers: int, iterations: int, rng: Rng,
+                    fault_rate: float = 0.05,
+                    kind_weights: dict[str, float] | None = None,
+                    topology: FailureDomainTopology | None = None,
+                    mean_down_s: float = 4.0,
+                    mean_duration_s: float = 6.0) -> list[WorkerFault]:
+        """Seeded random fault plan: each iteration draws a fault with
+        probability ``fault_rate``; the kind follows ``kind_weights``."""
+        if not 0.0 <= fault_rate <= 1.0:
+            raise ValueError(f"fault_rate must be in [0,1], got {fault_rate}")
+        weights = kind_weights or {
+            FaultKind.CRASH: 0.45, FaultKind.HANG: 0.25,
+            FaultKind.SLOW: 0.15, FaultKind.PARTITION: 0.10,
+            FaultKind.DOMAIN: 0.05,
+        }
+        kinds = sorted(weights)
+        total = sum(weights[k] for k in kinds)
+        plan: list[WorkerFault] = []
+        for iteration in range(iterations):
+            if float(rng.random()) >= fault_rate:
+                continue
+            pick = float(rng.random()) * total
+            kind = kinds[-1]
+            for candidate in kinds:
+                pick -= weights[candidate]
+                if pick <= 0:
+                    kind = candidate
+                    break
+            rank = int(rng.integers(0, num_workers))
+            if kind == FaultKind.CRASH:
+                plan.append(WorkerFault(
+                    kind=kind, at_iteration=iteration, rank=rank,
+                    down_s=float(rng.exponential(mean_down_s)),
+                    in_flight=bool(float(rng.random()) < 0.3)))
+            elif kind == FaultKind.HANG:
+                plan.append(WorkerFault(
+                    kind=kind, at_iteration=iteration, rank=rank,
+                    duration_s=float(rng.exponential(mean_duration_s))))
+            elif kind == FaultKind.SLOW:
+                plan.append(WorkerFault(
+                    kind=kind, at_iteration=iteration, rank=rank,
+                    duration_s=float(rng.exponential(mean_duration_s)),
+                    slow_factor=1.0 + 3.0 * float(rng.random())))
+            elif kind == FaultKind.PARTITION:
+                other = int(rng.integers(0, num_workers))
+                group = tuple(sorted({rank, other}))
+                plan.append(WorkerFault(
+                    kind=kind, at_iteration=iteration, ranks=group,
+                    duration_s=float(rng.exponential(mean_duration_s))))
+            elif kind == FaultKind.DOMAIN and topology is not None:
+                domains = sorted(topology.domains())
+                domain = domains[int(rng.integers(0, len(domains)))]
+                plan.append(WorkerFault(
+                    kind=kind, at_iteration=iteration, domain=domain,
+                    down_s=float(rng.exponential(mean_down_s)),
+                    wipe_replicas=bool(float(rng.random()) < 0.5)))
+        return plan
+
+    # Activation -----------------------------------------------------------
+    def tick(self, iteration: int) -> list[WorkerFault]:
+        """Advance to ``iteration``; activate newly due faults.
+
+        Expired hang/slow/partition entries are *not* purged here — the
+        responsiveness predicates compare against the clock, so healing
+        is visible the instant the clock passes the deadline, including
+        mid-recovery.
+        """
+        if iteration <= self._watermark:
+            return []  # re-run after rollback: nothing new fires
+        self._watermark = iteration
+        due: list[WorkerFault] = []
+        while self._pending and self._pending[0].at_iteration <= iteration:
+            due.append(self._pending.pop(0))
+        activated = []
+        for fault in due:
+            if fault.kind == FaultKind.CRASH and fault.in_flight:
+                self._armed_in_flight.append(fault)
+            else:
+                self._activate(fault)
+            activated.append(fault)
+        return activated
+
+    def _activate(self, fault: WorkerFault) -> None:
+        now = self.clock.now
+        self.activated.append((now, fault))
+        targets = fault.targets(self.topology)
+        if fault.kind in (FaultKind.CRASH, FaultKind.DOMAIN):
+            for rank in targets:
+                self.crashed[rank] = now + max(0.0, fault.down_s)
+        elif fault.kind == FaultKind.HANG:
+            for rank in targets:
+                self.hung_until[rank] = now + fault.duration_s
+        elif fault.kind == FaultKind.SLOW:
+            for rank in targets:
+                self.slow_until[rank] = (now + fault.duration_s,
+                                         fault.slow_factor)
+        elif fault.kind == FaultKind.PARTITION:
+            for rank in targets:
+                self.partitioned_until[rank] = now + fault.duration_s
+        if fault.wipe_replicas or fault.kind == FaultKind.REPLICA_LOSS:
+            self.replica_wipes += 1
+
+    def collective_gate(self, iteration: int) -> None:
+        """Trainer collective gate: fire armed in-flight crashes.
+
+        Registered via ``trainer.register_collective_gate`` — runs at the
+        entry of the gradient collective and kills the step exactly the
+        way a real communicator discovers a dead peer.
+        """
+        if not self._armed_in_flight:
+            return
+        armed, self._armed_in_flight = self._armed_in_flight, []
+        ranks: list[int] = []
+        for fault in armed:
+            self._activate(fault)
+            ranks.extend(fault.targets(self.topology))
+        raise WorkerCrashed(tuple(sorted(set(ranks))), iteration)
+
+    # Predicates (evaluated against the shared clock) ----------------------
+    def is_crashed(self, rank: int) -> bool:
+        return rank in self.crashed
+
+    def is_responsive(self, rank: int) -> bool:
+        """Heartbeats flow from ``rank`` right now."""
+        now = self.clock.now
+        if rank in self.crashed:
+            return False
+        if now < self.hung_until.get(rank, -1.0):
+            return False
+        if now < self.partitioned_until.get(rank, -1.0):
+            return False
+        return True
+
+    def can_restore(self, rank: int) -> bool:
+        """A dead worker's machine is back and a replica can be rebuilt."""
+        if rank in self.crashed:
+            return self.clock.now >= self.crashed[rank]
+        return self.is_responsive(rank)
+
+    def step_dilation(self, active_ranks) -> float:
+        """Synchronous-step time multiplier from live stragglers."""
+        now = self.clock.now
+        factor = 1.0
+        for rank in active_ranks:
+            until, slow = self.slow_until.get(rank, (0.0, 1.0))
+            if now < until:
+                factor = max(factor, slow)
+        return factor
+
+    def heal(self, rank: int) -> None:
+        """Recovery restored ``rank``: clear every live fault on it."""
+        self.crashed.pop(rank, None)
+        self.hung_until.pop(rank, None)
+        self.partitioned_until.pop(rank, None)
+        self.slow_until.pop(rank, None)
+
+    def take_replica_wipes(self) -> int:
+        """Consume pending peer-replica wipes (loop applies them once)."""
+        wipes, self.replica_wipes = self.replica_wipes, 0
+        return wipes
+
+    def stats(self) -> dict:
+        return {
+            "pending_faults": len(self._pending),
+            "activated_faults": len(self.activated),
+            "crashed": sorted(self.crashed),
+            "activated_kinds": sorted(
+                {fault.kind for _, fault in self.activated}),
+        }

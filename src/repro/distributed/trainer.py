@@ -110,8 +110,19 @@ class DataParallelTrainer:
         self._synced_hooks: list[Callable[[int, CompressedGradient], None]] = []
         self._layer_hooks: list[Callable[[int, str, dict], None]] = []
         self._update_hooks: list[Callable[[int], None]] = []
+        self._collective_gates: list[Callable[[int], None]] = []
         self._layer_capture: list[list[tuple[str, dict]]] | None = None
         self._install_layer_capture()
+        # Degraded-world membership (supervisor-driven): every rank starts
+        # active and owns exactly its own data shard.  When a rank is
+        # deactivated its shard is re-partitioned across the survivors and
+        # the allreduce mean rescales to the surviving world size.
+        self.active_ranks: list[int] = list(range(num_workers))
+        self._shard_map: dict[int, tuple[int, ...]] = {
+            rank: (rank,) for rank in range(num_workers)
+        }
+        self.degraded_steps = 0
+        self.resyncs = 0
 
     # Hook registration -------------------------------------------------------
     def register_synced_gradient_hook(self, hook: Callable[[int, CompressedGradient], None]) -> None:
@@ -134,6 +145,27 @@ class DataParallelTrainer:
     def register_post_update_hook(self, hook: Callable[[int], None]) -> None:
         """``hook(iteration)`` after every worker applied the update."""
         self._update_hooks.append(hook)
+
+    def register_collective_gate(self, hook: Callable[[int], None]) -> None:
+        """``hook(iteration)`` at the entry of the gradient collective.
+
+        This is the collectives-layer fault-injection point: the hook runs
+        after every active rank computed its local gradient but before the
+        allreduce, exactly where a real NCCL group discovers a dead peer.
+        A raising gate aborts the step *before any state mutates* — no
+        optimizer update is applied and ``self.iteration`` does not
+        advance, so the aborted step can simply be re-executed.
+        """
+        self._collective_gates.append(hook)
+
+    def clear_checkpoint_hooks(self) -> None:
+        """Detach a quiesced checkpointer's hooks before attaching its
+        replacement (supervised recovery).  A quiesced checkpointer's queue
+        is closed — leaving its hooks registered would poison the next
+        step.  Collective gates (fault injection) are deliberately kept."""
+        self._synced_hooks.clear()
+        self._update_hooks.clear()
+        self._layer_hooks.clear()
 
     def _install_layer_capture(self) -> None:
         self._layer_capture = [[] for _ in range(self.num_workers)]
@@ -160,23 +192,40 @@ class DataParallelTrainer:
         bytes_before = self.comm_stats.total_bytes
         for capture in self._layer_capture:
             capture.clear()
+        active = self.active_ranks
+        degraded = len(active) != self.num_workers
+        if degraded:
+            self.degraded_steps += 1
+        scale = len(active) / self.num_workers
 
         obs_on = OBS.enabled
         if obs_on:
             tracer = OBS.tracer
             tracer.begin("iteration", "train", {"iteration": iteration})
             tracer.begin("forward_backward", "train")
-        local_grads = [worker.local_gradients(iteration) for worker in self.workers]
+        local_grads = [
+            self.workers[rank].local_gradients(
+                iteration, shards=self._shard_map[rank], scale=scale)
+            for rank in active
+        ]
         if obs_on:
             tracer.end()
         self._fire_layer_hooks(iteration)
+        if self._collective_gates:
+            try:
+                for gate in self._collective_gates:
+                    gate(iteration)
+            except BaseException:
+                if obs_on:
+                    tracer.end()  # close the iteration span before aborting
+                raise
 
         if self.compressors is not None:
             if obs_on:
                 tracer.begin("compress", "train")
             payloads = [
-                compressor.compress(grads)
-                for compressor, grads in zip(self.compressors, local_grads)
+                self.compressors[rank].compress(grads)
+                for rank, grads in zip(active, local_grads)
             ]
             if obs_on:
                 tracer.end()
@@ -206,11 +255,11 @@ class DataParallelTrainer:
         if obs_on:
             tracer.end()
             tracer.begin("step", "train")
-        if self.dedup_updates and self.num_workers > 1:
+        if self.dedup_updates and len(active) > 1:
             self._apply_update_deduped(update_grads)
         else:
-            for worker in self.workers:
-                worker.apply_update(update_grads)
+            for rank in active:
+                self.workers[rank].apply_update(update_grads)
         if obs_on:
             tracer.end()
             tracer.begin("update_hooks", "train")
@@ -220,7 +269,7 @@ class DataParallelTrainer:
             tracer.end()
 
         self.iteration += 1
-        loss = float(np.mean([worker.last_loss for worker in self.workers]))
+        loss = float(np.mean([self.workers[rank].last_loss for rank in active]))
         comm_bytes = self.comm_stats.total_bytes - bytes_before
         if obs_on:
             tracer.end()  # iteration
@@ -260,17 +309,18 @@ class DataParallelTrainer:
         precondition instead of trusting it.
         """
         if self.iteration % self.dedup_check_every == 0:
-            signatures = {worker.state_signature() for worker in self.workers}
+            signatures = {self.workers[rank].state_signature()
+                          for rank in self.active_ranks}
             if len(signatures) != 1:
                 raise RuntimeError(
                     "dedup_updates precondition violated: replicas diverged "
                     f"before iteration {self.iteration}"
                 )
-        source = self.workers[0]
+        source = self.workers[self.active_ranks[0]]
         source.apply_update(update_grads)
         source_params = dict(source.model.named_parameters())
         source_opt = source.optimizer
-        for worker in self.workers[1:]:
+        for worker in (self.workers[rank] for rank in self.active_ranks[1:]):
             for name, param in worker.model.named_parameters():
                 np.copyto(param.data, source_params[name].data)
             optimizer = worker.optimizer
@@ -292,19 +342,22 @@ class DataParallelTrainer:
     def _fire_layer_hooks(self, iteration: int) -> None:
         if not self._layer_hooks:
             return
-        reference = self._layer_capture[0]
+        # Layer hooks require the full world (deactivate_worker refuses
+        # otherwise), so the active ranks are exactly 0..N-1 here.
+        ranks = self.active_ranks
+        reference = self._layer_capture[ranks[0]]
         for index, (layer_name, _) in enumerate(reference):
             synced_layer: dict[str, np.ndarray] = {}
             for param_name in reference[index][1]:
                 # Accumulate in the same order as allreduce_mean so the
                 # per-layer mean is bit-identical to the full synced
                 # gradient (LowDiff+'s CPU replica relies on this).
-                acc = self._layer_capture[0][index][1][param_name].astype(
+                acc = self._layer_capture[ranks[0]][index][1][param_name].astype(
                     np.float64, copy=True
                 )
-                for rank in range(1, self.num_workers):
+                for rank in ranks[1:]:
                     acc += self._layer_capture[rank][index][1][param_name]
-                acc /= self.num_workers
+                acc /= len(ranks)
                 synced_layer[param_name] = acc
             for hook in self._layer_hooks:
                 hook(iteration, layer_name, synced_layer)
@@ -312,14 +365,14 @@ class DataParallelTrainer:
     def run(self, num_iterations: int) -> list[IterationRecord]:
         return [self.step() for _ in range(num_iterations)]
 
-    # State access (canonical replica: rank 0) -----------------------------------
+    # State access (canonical replica: lowest active rank) -----------------------
     @property
     def model(self) -> Module:
-        return self.workers[0].model
+        return self.workers[self.active_ranks[0]].model
 
     @property
     def optimizer(self) -> Optimizer:
-        return self.workers[0].optimizer
+        return self.workers[self.active_ranks[0]].optimizer
 
     def model_state(self) -> dict[str, np.ndarray]:
         return self.model.state_dict()
@@ -336,10 +389,10 @@ class DataParallelTrainer:
         self.iteration = int(iteration)
 
     def replicas_consistent(self, atol: float = 0.0) -> bool:
-        """True iff all replicas hold identical parameters."""
-        reference = self.model_state()
-        for worker in self.workers[1:]:
-            state = worker.model.state_dict()
+        """True iff all *active* replicas hold identical parameters."""
+        reference = self.workers[self.active_ranks[0]].model.state_dict()
+        for rank in self.active_ranks[1:]:
+            state = self.workers[rank].model.state_dict()
             for name, value in reference.items():
                 if atol == 0.0:
                     if not np.array_equal(value, state[name]):
@@ -347,3 +400,85 @@ class DataParallelTrainer:
                 elif not np.allclose(value, state[name], atol=atol):
                     return False
         return True
+
+    # Degraded-world membership (driven by the cluster supervisor) -----------
+    @property
+    def world_size(self) -> int:
+        """Number of ranks currently participating in the collective."""
+        return len(self.active_ranks)
+
+    @property
+    def is_degraded(self) -> bool:
+        return len(self.active_ranks) != self.num_workers
+
+    def shard_map(self) -> dict[int, tuple[int, ...]]:
+        """Active rank -> data shards it covers this step."""
+        return {rank: self._shard_map[rank] for rank in self.active_ranks}
+
+    def max_shards_per_worker(self) -> int:
+        """Shards on the busiest surviving rank — the degraded-mode step
+        time dilation factor (the synchronous group moves at its pace)."""
+        return max(len(self._shard_map[rank]) for rank in self.active_ranks)
+
+    def deactivate_worker(self, rank: int) -> None:
+        """Drop ``rank`` from the collective: degraded-mode training.
+
+        Its data shard is re-partitioned round-robin across the survivors
+        (every shard stays covered — the global batch is unchanged) and
+        the allreduce mean rescales to the surviving world size via the
+        gradient weighting in :meth:`SimWorker.local_gradients`.
+        """
+        if rank not in self.active_ranks:
+            raise ValueError(f"rank {rank} is not active")
+        if len(self.active_ranks) == 1:
+            raise RuntimeError("cannot deactivate the last surviving worker")
+        if self._layer_hooks:
+            raise RuntimeError(
+                "degraded mode is unsupported with per-layer gradient hooks "
+                "(the layer capture assumes one backward pass per rank)"
+            )
+        self.active_ranks.remove(rank)
+        self._rebuild_shard_map()
+
+    def reactivate_worker(self, rank: int, sync_from: int | None = None) -> None:
+        """Re-admit a previously deactivated rank.
+
+        Its replica state is re-synced from a healthy rank (elastic
+        re-admission: the returning worker missed every degraded-mode
+        update), then the shard map is restored.
+        """
+        if rank in self.active_ranks:
+            raise ValueError(f"rank {rank} is already active")
+        self.resync_worker(rank, sync_from=sync_from)
+        self.active_ranks.append(rank)
+        self.active_ranks.sort()
+        self._rebuild_shard_map()
+
+    def resync_worker(self, rank: int, sync_from: int | None = None) -> None:
+        """Overwrite ``rank``'s replica with a healthy rank's state.
+
+        The peer-memory recovery path: a restarted worker whose replica
+        died with it is bit-exactly rebuilt from any surviving replica
+        (synchronous data parallelism keeps them identical).
+        """
+        source_rank = sync_from if sync_from is not None else next(
+            r for r in self.active_ranks if r != rank)
+        if source_rank == rank:
+            raise ValueError("cannot resync a rank from itself")
+        source = self.workers[source_rank]
+        target = self.workers[rank]
+        target.model.load_state_dict(source.model.state_dict())
+        target.optimizer.load_state_dict(source.optimizer.state_dict())
+        target.last_loss = source.last_loss
+        self.resyncs += 1
+
+    def _rebuild_shard_map(self) -> None:
+        """Own shard for every active rank; orphaned shards round-robin."""
+        active = sorted(self.active_ranks)
+        mapping: dict[int, list[int]] = {rank: [rank] for rank in active}
+        orphans = [r for r in range(self.num_workers) if r not in mapping]
+        for index, orphan in enumerate(orphans):
+            mapping[active[index % len(active)]].append(orphan)
+        self._shard_map = {rank: (rank,) for rank in range(self.num_workers)}
+        for rank in active:
+            self._shard_map[rank] = tuple(sorted(mapping[rank]))

@@ -35,22 +35,58 @@ class SimWorker:
         self.dataset = dataset
         self.last_loss: float = float("nan")
 
-    def local_gradients(self, iteration: int) -> dict[str, np.ndarray]:
+    def local_gradients(self, iteration: int,
+                        shards: tuple[int, ...] | None = None,
+                        scale: float = 1.0) -> dict[str, np.ndarray]:
         """Forward+backward on this rank's batch; returns named gradients.
 
         Gradient-ready hooks registered on the model fire during this call,
         layer by layer in reverse order.
+
+        ``shards`` lists the data shards this rank covers this step —
+        normally just its own rank, but a worker in a degraded group also
+        takes over shards orphaned by lost peers: gradients are the *sum*
+        over the owned shards, multiplied by ``scale`` (the trainer passes
+        ``len(active)/num_shards`` so the cross-worker mean reproduces the
+        full-batch global mean).  The single-shard unscaled case takes the
+        exact historical code path, bit for bit.
         """
-        inputs, targets = self.dataset.batch(self.rank, iteration)
-        self.model.zero_grad()
-        logits = self.model.forward(inputs)
-        self.last_loss, grad_seed = self.loss_fn(logits, targets)
-        self.model.backward(grad_seed)
-        return {
-            name: param.grad
-            for name, param in self.model.named_parameters()
-            if param.requires_grad
-        }
+        if shards is None:
+            shards = (self.rank,)
+        if len(shards) == 1 and scale == 1.0:
+            inputs, targets = self.dataset.batch(shards[0], iteration)
+            self.model.zero_grad()
+            logits = self.model.forward(inputs)
+            self.last_loss, grad_seed = self.loss_fn(logits, targets)
+            self.model.backward(grad_seed)
+            return {
+                name: param.grad
+                for name, param in self.model.named_parameters()
+                if param.requires_grad
+            }
+        total: dict[str, np.ndarray] | None = None
+        losses = []
+        for shard in shards:
+            inputs, targets = self.dataset.batch(shard, iteration)
+            self.model.zero_grad()
+            logits = self.model.forward(inputs)
+            loss, grad_seed = self.loss_fn(logits, targets)
+            losses.append(loss)
+            self.model.backward(grad_seed)
+            if total is None:
+                total = {
+                    name: param.grad.copy()
+                    for name, param in self.model.named_parameters()
+                    if param.requires_grad
+                }
+            else:
+                for name, param in self.model.named_parameters():
+                    if param.requires_grad:
+                        total[name] += param.grad
+        for name in total:
+            total[name] *= scale
+        self.last_loss = float(np.mean(losses))
+        return total
 
     def apply_update(self, named_grads: dict[str, np.ndarray]) -> None:
         """Advance model + optimizer state with the synchronized gradient."""

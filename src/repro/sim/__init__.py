@@ -20,10 +20,13 @@ from repro.sim.workload import Workload
 from repro.sim.engine import Resource, TrainingSim, SimResult
 from repro.sim.report import summarize
 from repro.sim.failures import (
+    FailureEvent,
     FailureSchedule,
     StorageFaultModel,
+    SupervisorModel,
     fixed_mtbf_schedule,
     exponential_mtbf_schedule,
+    worker_failure_schedule,
 )
 from repro.sim.metrics import (
     wasted_time,
@@ -53,8 +56,11 @@ __all__ = [
     "TrainingSim",
     "SimResult",
     "summarize",
+    "FailureEvent",
     "FailureSchedule",
     "StorageFaultModel",
+    "SupervisorModel",
+    "worker_failure_schedule",
     "fixed_mtbf_schedule",
     "exponential_mtbf_schedule",
     "wasted_time",

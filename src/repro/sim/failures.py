@@ -18,10 +18,32 @@ from repro.utils.rng import Rng
 from repro.utils.validation import check_positive
 
 
+#: Whole-job failure kinds (the paper's methodology) plus worker-level
+#: kinds priced by the cluster-supervisor model: a single worker crashing
+#: (GPU state lost, machine down for ``duration_s``), hanging or being
+#: partitioned (state intact, unreachable for ``duration_s``), and a
+#: correlated domain-wide failure that also takes every peer replica
+#: holder with it (the Gemini/Checkmate worst case).
+FAILURE_KINDS = ("hardware", "software", "worker_crash", "worker_hang",
+                 "partition", "correlated")
+
+#: Kinds that only stall the group (worker state survives; the failure
+#: clears by itself after ``duration_s``).
+TRANSIENT_KINDS = ("worker_hang", "partition")
+
+
 @dataclass(frozen=True)
 class FailureEvent:
     time_s: float
-    kind: str  # "hardware" | "software"
+    kind: str  # one of FAILURE_KINDS
+    #: Worker-level events: the struck rank (None for whole-job kinds).
+    rank: int | None = None
+    #: Correlated events: the failure domain (host/rack) that died.
+    domain: str | None = None
+    #: Outage length — how long the machine stays down (crash kinds) or
+    #: the worker stays unreachable (transient kinds).  0 = instantly
+    #: restorable, the whole-job legacy behaviour.
+    duration_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -37,8 +59,10 @@ class FailureSchedule:
         for event in self.events:
             if event.time_s <= last:
                 raise ValueError("failure events must be strictly increasing in time")
-            if event.kind not in ("hardware", "software"):
+            if event.kind not in FAILURE_KINDS:
                 raise ValueError(f"unknown failure kind {event.kind!r}")
+            if event.duration_s < 0:
+                raise ValueError("duration_s must be >= 0")
             last = event.time_s
 
     @property
@@ -46,7 +70,7 @@ class FailureSchedule:
         return len(self.events)
 
     def kinds(self) -> dict[str, int]:
-        out = {"hardware": 0, "software": 0}
+        out = {kind: 0 for kind in FAILURE_KINDS}
         for event in self.events:
             out[event.kind] += 1
         return out
@@ -137,3 +161,114 @@ def exponential_mtbf_schedule(mtbf_s: float, horizon_s: float, rng: Rng,
         kind = "software" if float(rng.random()) < software_fraction else "hardware"
         events.append(FailureEvent(time_s=t, kind=kind))
     return FailureSchedule(horizon_s=horizon_s, events=tuple(events))
+
+
+#: Default mix of worker-level failure kinds (weights normalized).
+DEFAULT_WORKER_KIND_WEIGHTS = {
+    "worker_crash": 0.5,
+    "worker_hang": 0.2,
+    "partition": 0.15,
+    "correlated": 0.15,
+}
+
+
+def worker_failure_schedule(num_workers: int, mtbf_s: float, horizon_s: float,
+                            rng: Rng, topology=None,
+                            kind_weights: dict[str, float] | None = None,
+                            mean_outage_s: float = 60.0) -> FailureSchedule:
+    """Poisson worker-level failures with ranks, domains, and outages.
+
+    Each event strikes a uniformly random rank; ``correlated`` events carry
+    the struck rank's host as their failure domain when a
+    :class:`~repro.distributed.faults.FailureDomainTopology` is given.
+    Outage lengths are exponential with mean ``mean_outage_s`` — the knob
+    that decides how often the supervisor model's recovery deadline is
+    missed (degraded-mode pricing).
+    """
+    check_positive("mtbf_s", mtbf_s)
+    check_positive("horizon_s", horizon_s)
+    check_positive("mean_outage_s", mean_outage_s, strict=False)
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    weights = kind_weights or DEFAULT_WORKER_KIND_WEIGHTS
+    for kind in weights:
+        if kind not in FAILURE_KINDS:
+            raise ValueError(f"unknown failure kind {kind!r}")
+    total = sum(weights.values())
+    if total <= 0:
+        raise ValueError("kind_weights must have positive total weight")
+    kinds = sorted(weights)
+    cumulative = []
+    acc = 0.0
+    for kind in kinds:
+        acc += weights[kind] / total
+        cumulative.append(acc)
+
+    events = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(mtbf_s))
+        if t >= horizon_s:
+            break
+        draw = float(rng.random())
+        kind = kinds[-1]
+        for name, edge in zip(kinds, cumulative):
+            if draw < edge:
+                kind = name
+                break
+        rank = int(rng.integers(0, num_workers))
+        domain = None
+        if kind == "correlated" and topology is not None:
+            domain = topology.host(rank)
+        duration = float(rng.exponential(mean_outage_s)) if mean_outage_s else 0.0
+        events.append(FailureEvent(time_s=t, kind=kind, rank=rank,
+                                   domain=domain, duration_s=duration))
+    return FailureSchedule(horizon_s=horizon_s, events=tuple(events))
+
+
+@dataclass(frozen=True)
+class SupervisorModel:
+    """Analytic pricing of the cluster supervisor's failure handling.
+
+    Mirrors :class:`repro.distributed.supervisor.SupervisorConfig` but for
+    the accounting layer: expected detection latency (heartbeat timeout +
+    half a poll period), the recovery deadline past which the group
+    continues degraded on the survivors, and the degraded-mode throughput
+    retention of the shard re-partitioning scheme (each survivor takes
+    over orphaned shards, so step time dilates by the busiest worker's
+    shard count).
+    """
+
+    heartbeat_timeout_s: float = 30.0
+    poll_period_s: float = 5.0
+    recovery_deadline_s: float = 120.0
+    resync_time_s: float = 30.0
+
+    def __post_init__(self):
+        check_positive("heartbeat_timeout_s", self.heartbeat_timeout_s)
+        check_positive("poll_period_s", self.poll_period_s)
+        check_positive("recovery_deadline_s", self.recovery_deadline_s)
+        check_positive("resync_time_s", self.resync_time_s, strict=False)
+
+    def detection_latency_s(self) -> float:
+        """Expected time from last heartbeat to failure declaration."""
+        return self.heartbeat_timeout_s + self.poll_period_s / 2.0
+
+    def degraded_retention(self, num_workers: int, lost: int = 1) -> float:
+        """Fraction of full-world throughput while ``lost`` workers are out.
+
+        Survivors re-partition the orphaned shards; the global batch is
+        unchanged but each step takes as long as the busiest survivor's
+        shard pile: ``ceil(N / (N - lost))`` times the healthy step.
+        """
+        survivors = max(1, num_workers - lost)
+        dilation = -(-num_workers // survivors)  # ceil
+        return 1.0 / dilation
+
+    def degraded_window_s(self, outage_s: float) -> float:
+        """Wall time spent degraded for one outage: the stretch between
+        the missed recovery deadline and the machine's return, plus the
+        re-admission state re-sync.  0 when the outage fits the budget."""
+        if outage_s <= self.recovery_deadline_s:
+            return 0.0
+        return outage_s - self.recovery_deadline_s + self.resync_time_s

@@ -14,7 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.sim.engine import SimResult
-from repro.sim.failures import FailureSchedule
+from repro.sim.failures import (
+    TRANSIENT_KINDS,
+    FailureSchedule,
+    SupervisorModel,
+)
 from repro.sim.strategies.base import CheckpointStrategy, FailureProfile
 
 
@@ -33,6 +37,13 @@ class FailureRunMetrics:
     #: the steady-state run (already folded into the strategy's stalls and
     #: thus ``overhead_time_s``; broken out here for attribution).
     persist_retry_time_s: float = 0.0
+    #: Wall time the group spent stalled before each failure was *declared*
+    #: (supervisor heartbeat-timeout detection; part of wasted time).
+    detection_time_s: float = 0.0
+    #: Wall time spent training on a reduced world size (outages that
+    #: missed the recovery deadline); only the retention fraction of it
+    #: made progress.
+    degraded_time_s: float = 0.0
 
     @property
     def effective_ratio(self) -> float:
@@ -57,7 +68,9 @@ def wasted_time(steady: SimResult, profile: FailureProfile, mtbf_s: float,
 
 def run_with_failures(steady: SimResult, strategy: CheckpointStrategy,
                       schedule: FailureSchedule,
-                      restart_overhead_s: float = 0.0) -> FailureRunMetrics:
+                      restart_overhead_s: float = 0.0,
+                      supervisor: SupervisorModel | None = None,
+                      num_workers: int = 1) -> FailureRunMetrics:
     """Account a training run of ``schedule.horizon_s`` wall-clock seconds.
 
     Walks the failure schedule: between failures, training proceeds at the
@@ -65,42 +78,91 @@ def run_with_failures(steady: SimResult, strategy: CheckpointStrategy,
     checkpointing overhead); each failure costs ``restart_overhead_s``
     (job restart: scheduler, NCCL re-init, data-loader warmup) plus its
     kind-specific recovery time plus re-processing of the lost iterations.
+
+    With a :class:`~repro.sim.failures.SupervisorModel`, every failure
+    additionally stalls the group for the expected detection latency, and
+    worker-level outages longer than the recovery deadline put the run in
+    degraded mode: training continues at the model's throughput retention
+    until the machine returns and is re-synced.  Transient worker kinds
+    (hang, partition) lose no state — they cost detection plus the outage
+    stall, capped at the deadline before the supervisor degrades instead.
     """
     iter_eff = steady.iter_time_eff
     base = steady.compute_time / steady.iterations
     overhead_fraction_of_time = 1.0 - base / iter_eff if iter_eff else 0.0
+    supervisor = supervisor or getattr(strategy, "supervisor", None)
 
     redo_total = 0.0
     recovery_total = 0.0
+    detection_total = 0.0
+    degraded_total = 0.0
+    degraded_loss = 0.0
     clock = 0.0
     training_time = 0.0
     for event in schedule.events:
+        detection = supervisor.detection_latency_s() if supervisor else 0.0
+        transient = event.kind in TRANSIENT_KINDS
         if event.time_s <= clock:
             # Failure struck during a previous failure's recovery window;
             # it costs another recovery but no extra lost training.
-            profile = strategy.failure_profile(kind=event.kind)
-            cost = profile.recovery_time_s + restart_overhead_s
-            recovery_total += cost
+            if not transient:
+                profile = strategy.failure_profile(kind=event.kind)
+                cost = profile.recovery_time_s + restart_overhead_s + detection
+            else:
+                cost = detection + event.duration_s
+            detection_total += detection
+            recovery_total += cost - detection
             clock += cost
             continue
         training_time += event.time_s - clock
         clock = event.time_s
-        profile = strategy.failure_profile(kind=event.kind)
-        lost = profile.lost_iterations
-        if lost == float("inf"):
-            # No checkpointing: all progress since job start is lost.
-            redo_total += training_time
+        detection_total += detection
+        clock += detection
+        if transient:
+            # State intact; the group stalls until the fault clears or the
+            # deadline passes and the supervisor degrades the world.
+            if supervisor is None:
+                stall = event.duration_s
+                clock += stall
+                recovery_total += stall
+                continue
+            stall = min(event.duration_s,
+                        supervisor.recovery_deadline_s)
+            clock += stall
+            recovery_total += stall
         else:
-            redo_total += min(lost * iter_eff, training_time)
-        cost = profile.recovery_time_s + restart_overhead_s
-        recovery_total += cost
-        clock += cost
+            profile = strategy.failure_profile(kind=event.kind)
+            lost = profile.lost_iterations
+            if lost == float("inf"):
+                # No checkpointing: all progress since job start is lost.
+                redo_total += training_time
+            else:
+                redo_total += min(lost * iter_eff, training_time)
+            cost = profile.recovery_time_s + restart_overhead_s
+            if supervisor is not None and event.rank is not None:
+                # Worker-level outage: recovery can't finish before the
+                # machine returns; past the deadline the survivors carry
+                # the world degraded.
+                cost = min(max(cost, event.duration_s),
+                           max(cost, supervisor.recovery_deadline_s))
+            recovery_total += cost
+            clock += cost
+        if supervisor is not None:
+            window = supervisor.degraded_window_s(event.duration_s)
+            if window > 0.0:
+                retention = supervisor.degraded_retention(num_workers)
+                clock += window
+                degraded_total += window
+                degraded_loss += window * (1.0 - retention)
+                # The retained fraction keeps making progress.
+                training_time += window * retention
     if clock < schedule.horizon_s:
         training_time += schedule.horizon_s - clock
 
     overhead_total = training_time * overhead_fraction_of_time
     productive = max(0.0, training_time - redo_total - overhead_total)
-    wasted = redo_total + recovery_total + overhead_total
+    wasted = (redo_total + recovery_total + overhead_total
+              + detection_total + degraded_loss)
     return FailureRunMetrics(
         horizon_s=schedule.horizon_s,
         num_failures=schedule.count,
@@ -110,6 +172,8 @@ def run_with_failures(steady: SimResult, strategy: CheckpointStrategy,
         overhead_time_s=overhead_total,
         wasted_time_s=wasted,
         persist_retry_time_s=getattr(strategy, "persist_retry_time_s", 0.0),
+        detection_time_s=detection_total,
+        degraded_time_s=degraded_total,
     )
 
 

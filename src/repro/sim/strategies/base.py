@@ -46,6 +46,10 @@ class CheckpointStrategy:
         self.storage_faults = None
         #: Accumulated extra persist-channel time attributable to retries.
         self.persist_retry_time_s = 0.0
+        #: Optional :class:`repro.sim.failures.SupervisorModel`; when set,
+        #: ``run_with_failures`` prices detection latency and degraded-mode
+        #: throughput for worker-level failure events.
+        self.supervisor = None
 
     # Engine wiring ---------------------------------------------------------
     def bind(self, sim) -> None:
@@ -115,6 +119,11 @@ class CheckpointStrategy:
     def set_storage_faults(self, model) -> "CheckpointStrategy":
         """Attach a persist-fault model (chainable); ``None`` disables."""
         self.storage_faults = model
+        return self
+
+    def set_supervisor(self, model) -> "CheckpointStrategy":
+        """Attach a supervisor pricing model (chainable); ``None`` disables."""
+        self.supervisor = model
         return self
 
     def _schedule_persist(self, nbytes: float) -> None:

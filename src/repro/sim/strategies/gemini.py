@@ -16,38 +16,63 @@ from repro.sim.strategies.base import CheckpointStrategy, FailureProfile
 class GeminiStrategy(CheckpointStrategy):
     name = "gemini"
 
-    def __init__(self, every: int = 1, remote_fraction: float = 0.6):
+    def __init__(self, every: int = 1, remote_fraction: float = 0.6,
+                 replica_loss_prob: float = 0.0,
+                 storage_every: int | None = None):
         super().__init__()
         if every < 1:
             raise ValueError(f"every must be >= 1, got {every}")
         if not 0.0 <= remote_fraction <= 1.0:
             raise ValueError(f"remote_fraction must be in [0,1], got {remote_fraction}")
+        if not 0.0 <= replica_loss_prob <= 1.0:
+            raise ValueError(
+                f"replica_loss_prob must be in [0,1], got {replica_loss_prob}")
+        if storage_every is not None and storage_every < 1:
+            raise ValueError(f"storage_every must be >= 1, got {storage_every}")
         self.every = int(every)
         self.remote_fraction = float(remote_fraction)
+        #: Probability a hardware failure is *correlated*: every peer
+        #: replica holder dies with the machine (domain-wide loss), so
+        #: recovery must fall back to the durable storage tier.
+        self.replica_loss_prob = float(replica_loss_prob)
+        #: Out-of-band durable persistence period (None = memory only —
+        #: a correlated loss then forfeits all progress, Checkmate's
+        #: argument for pairing replication with a slow durable tier).
+        self.storage_every = None if storage_every is None else int(storage_every)
 
     def next_event(self, index: int) -> int | None:
-        return self._next_multiple_event(index, self.every)
+        memory_next = self._next_multiple_event(index, self.every)
+        if self.storage_every is None:
+            return memory_next
+        return min(memory_next,
+                   self._next_multiple_event(index, self.storage_every))
 
     def after_iteration(self, index: int) -> None:
-        if (index + 1) % self.every:
-            return
         workload, sim = self.workload, self.sim
         size = workload.full_checkpoint_bytes
-        # Snapshot to local CPU memory (overlapped; excess stalls).
-        sim.stall("snapshot", self._snapshot_exposed(size))
-        sim.pcie.schedule(sim.now, workload.snapshot_time(size), nbytes=size)
-        # Replicate to peer CPU memory: the scheduler absorbs traffic into
-        # the network's idle window; the rest backpressures training.
-        remote_bytes = size * self.remote_fraction / workload.cluster.num_nodes
-        transfer = remote_bytes / workload.cluster.network_bandwidth
-        idle_window = (workload.cost.network_idle_fraction
-                       * self.every * workload.iter_time)
-        exposed = max(0.0, transfer - idle_window)
-        sim.network.schedule(sim.now, transfer, nbytes=remote_bytes)
-        sim.stall("replicate", exposed)
-        self.count("memory_ckpt")
+        if (index + 1) % self.every == 0:
+            # Snapshot to local CPU memory (overlapped; excess stalls).
+            sim.stall("snapshot", self._snapshot_exposed(size))
+            sim.pcie.schedule(sim.now, workload.snapshot_time(size), nbytes=size)
+            # Replicate to peer CPU memory: the scheduler absorbs traffic
+            # into the network's idle window; the rest backpressures
+            # training.
+            remote_bytes = size * self.remote_fraction / workload.cluster.num_nodes
+            transfer = remote_bytes / workload.cluster.network_bandwidth
+            idle_window = (workload.cost.network_idle_fraction
+                           * self.every * workload.iter_time)
+            exposed = max(0.0, transfer - idle_window)
+            sim.network.schedule(sim.now, transfer, nbytes=remote_bytes)
+            sim.stall("replicate", exposed)
+            self.count("memory_ckpt")
+        if self.storage_every is not None \
+                and (index + 1) % self.storage_every == 0:
+            # Durable tier: fully out of band (the memory tier already
+            # holds the fresh copy; persistence drains in the background).
+            self._schedule_persist(size)
+            self.count("storage_ckpt")
 
-    def failure_profile(self, kind: str = "hardware") -> FailureProfile:
+    def _memory_profile(self, kind: str) -> FailureProfile:
         workload = self.workload
         size = workload.full_checkpoint_bytes
         if kind == "software":
@@ -62,5 +87,43 @@ class GeminiStrategy(CheckpointStrategy):
             recovery_time_s=recovery,
         )
 
+    def _storage_profile(self) -> FailureProfile:
+        """Correlated loss: every replica holder died; fall back to the
+        durable tier (or lose everything without one)."""
+        if self.storage_every is None:
+            return FailureProfile(lost_iterations=float("inf"),
+                                  recovery_time_s=0.0)
+        workload = self.workload
+        size = workload.full_checkpoint_bytes
+        _, duration = self._persist_channel()
+        return FailureProfile(
+            lost_iterations=self.storage_every / 2.0,
+            recovery_time_s=duration(size) + workload.snapshot_time(size),
+        )
+
+    def failure_profile(self, kind: str = "hardware") -> FailureProfile:
+        if kind == "correlated":
+            return self._storage_profile()
+        memory = self._memory_profile(kind)
+        p = self.replica_loss_prob
+        if p == 0.0 or kind == "software":
+            return memory
+        # Expected cost when a fraction of hardware failures take the
+        # replica set with them.
+        storage = self._storage_profile()
+        if storage.lost_iterations == float("inf"):
+            # Any positive correlated-loss probability without a durable
+            # tier makes the expectation unbounded.
+            return FailureProfile(lost_iterations=float("inf"),
+                                  recovery_time_s=memory.recovery_time_s)
+        return FailureProfile(
+            lost_iterations=(1.0 - p) * memory.lost_iterations
+            + p * storage.lost_iterations,
+            recovery_time_s=(1.0 - p) * memory.recovery_time_s
+            + p * storage.recovery_time_s,
+        )
+
     def storage_bytes_per_iter(self) -> float:
-        return 0.0  # memory tier; durable persistence is out of band
+        if self.storage_every is None:
+            return 0.0  # memory tier; no durable persistence configured
+        return self.workload.full_checkpoint_bytes / self.storage_every

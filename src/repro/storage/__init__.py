@@ -47,6 +47,7 @@ from repro.storage.compaction import (
 from repro.storage.async_engine import (
     AsyncCheckpointEngine,
     BufferPool,
+    DrainTimeout,
     PendingWrite,
     SnapshotStager,
     WriteAborted,
@@ -80,6 +81,7 @@ __all__ = [
     "CompactionReport",
     "RetentionPolicy",
     "AsyncCheckpointEngine",
+    "DrainTimeout",
     "BufferPool",
     "PendingWrite",
     "SnapshotStager",

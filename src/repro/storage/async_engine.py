@@ -59,6 +59,21 @@ class WriteAborted(RuntimeError):
     """A submitted write was dropped before committing (abort/fail-stop)."""
 
 
+class DrainTimeout(RuntimeError):
+    """``drain``/``finalize`` deadline expired with records still in flight.
+
+    Queued-but-unstarted writes have been dropped (their
+    :class:`PendingWrite` resolves with :class:`WriteAborted`); writes a
+    worker already picked up may still commit later.  Raised so a
+    supervisor-orchestrated recovery is never hostage to a stuck backend.
+    """
+
+    def __init__(self, message: str, outstanding: int = 0, dropped: int = 0):
+        super().__init__(message)
+        self.outstanding = outstanding
+        self.dropped = dropped
+
+
 class BufferPool:
     """Reusable ``bytearray`` pool for serialized checkpoint containers.
 
@@ -456,21 +471,81 @@ class AsyncCheckpointEngine:
                 self._drained.notify_all()
 
     # Lifecycle ---------------------------------------------------------------
-    def drain(self) -> None:
-        """Block until every submitted record has committed."""
-        with self._lock:
+    def _drop_queued_locked(self) -> int:
+        """Drop queued-but-unstarted tasks (caller holds the lock).
+
+        In-flight tasks (already picked up by a writer) are untouched —
+        they cannot be interrupted and will resolve whenever the backend
+        returns.  Dropped seqs are a contiguous tail of the sequence
+        space, so in-flight (lower-seq) commits never wait on them.
+        """
+        dropped = list(self._tasks)
+        self._tasks.clear()
+        for task in dropped:
+            self.aborted_writes += 1
+            self._outstanding -= 1
+            if task.slot is not None:
+                self.stager.release(task.slot)
+            task.pending._resolve(error=WriteAborted(
+                f"{task.kind} write seq {task.seq} dropped by deadline/abort"))
+        if dropped:
+            self._space.notify_all()
+            if self._outstanding == 0:
+                self._drained.notify_all()
+        return len(dropped)
+
+    def _await_drained_locked(self, timeout: float | None,
+                              what: str) -> None:
+        """Wait (bounded) for outstanding == 0; on expiry drop queued work
+        and raise :class:`DrainTimeout`.  Caller holds the lock."""
+        if timeout is None:
             while self._outstanding:
                 self._drained.wait()
+            return
+        deadline = time.monotonic() + max(0.0, float(timeout))
+        while self._outstanding:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not self._drained.wait(remaining):
+                if not self._outstanding:
+                    return
+                dropped = self._drop_queued_locked()
+                stuck = self._outstanding
+                if OBS.enabled:
+                    OBS.registry.counter("ckpt.async.drain_timeouts").inc()
+                    OBS.tracer.instant(
+                        "drain-timeout", "ckpt",
+                        {"what": what, "outstanding": stuck,
+                         "dropped": dropped})
+                raise DrainTimeout(
+                    f"{what} deadline ({timeout}s) expired: {stuck} record(s) "
+                    f"still in flight, {dropped} queued write(s) dropped",
+                    outstanding=stuck, dropped=dropped,
+                )
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every submitted record has committed.
+
+        With a ``timeout`` (seconds) the wait is bounded: on expiry,
+        queued-but-unstarted writes are aborted and :class:`DrainTimeout`
+        is raised, so a stuck backend cannot hang recovery forever.
+        """
+        with self._lock:
+            self._await_drained_locked(timeout, "drain")
         self.raise_if_failed()
 
-    def finalize(self) -> None:
-        """Drain, stop the writer pool, and surface any worker error."""
+    def finalize(self, timeout: float | None = None) -> None:
+        """Drain, stop the writer pool, and surface any worker error.
+
+        ``timeout`` bounds the drain exactly like :meth:`drain`; on expiry
+        the engine stays closed, queued writes are dropped, and
+        :class:`DrainTimeout` is raised without joining the (possibly
+        stuck) writer threads — they are daemons and die with the process.
+        """
         with self._lock:
             self._closed = True
             self._task_ready.notify_all()
             self._space.notify_all()
-            while self._outstanding:
-                self._drained.wait()
+            self._await_drained_locked(timeout, "finalize")
         for worker in self._workers:
             worker.join(timeout=30.0)
             if worker.is_alive():  # pragma: no cover - defensive
@@ -485,21 +560,9 @@ class AsyncCheckpointEngine:
         dying process takes."""
         with self._lock:
             self._closed = True
-            dropped = list(self._tasks)
-            self._tasks.clear()
-            for task in dropped:
-                self.aborted_writes += 1
-                self._outstanding -= 1
-                if task.slot is not None:
-                    self.stager.release(task.slot)
-                task.pending._resolve(error=WriteAborted(
-                    f"{task.kind} write seq {task.seq} dropped by abort"))
-            # Dropped seqs are a contiguous tail of the sequence space, so
-            # in-flight (lower-seq) commits never wait on them.
+            self._drop_queued_locked()
             self._task_ready.notify_all()
             self._space.notify_all()
-            if self._outstanding == 0:
-                self._drained.notify_all()
             while self._outstanding:
                 self._drained.wait()
         for worker in self._workers:

@@ -20,6 +20,7 @@ from repro.storage import (
     AsyncCheckpointEngine,
     BufferPool,
     CheckpointStore,
+    DrainTimeout,
     InMemoryBackend,
     SnapshotStager,
     WriteAborted,
@@ -223,6 +224,80 @@ class TestLifecycle:
         backend.gate.set()
         engine.finalize()
         assert pending.wait(0).step == 5
+
+
+class TestDrainTimeout:
+    def test_drain_deadline_drops_queued_and_raises(self, rng):
+        """A stuck backend can't hold recovery hostage: the drain deadline
+        expires, queued-but-unstarted writes abort, and the caller gets a
+        typed error with the outstanding/dropped accounting."""
+        backend = GateBackend()
+        store = CheckpointStore(backend)
+        engine = AsyncCheckpointEngine(store, num_writers=1, queue_depth=8)
+        stuck = engine.save_diff(1, 1, diff_payload(rng))
+        assert backend.entered.acquire(timeout=WAIT)  # seq 0 is in flight
+        queued = [engine.save_diff(step, step, diff_payload(rng))
+                  for step in (2, 3)]
+        with pytest.raises(DrainTimeout) as info:
+            engine.drain(timeout=0.05)
+        assert info.value.dropped == 2
+        assert info.value.outstanding >= 1  # the stuck in-flight write
+        for pending in queued:
+            with pytest.raises(WriteAborted):
+                pending.wait(WAIT)
+        assert engine.stats()["aborted_writes"] == 2
+        # Once the backend unblocks, the in-flight write still commits and
+        # a normal finalize succeeds.
+        backend.gate.set()
+        assert stuck.wait(WAIT).start == 1
+        engine.finalize()
+        assert [record.start for record in store.diffs_after(0)] == [1]
+
+    def test_finalize_deadline_does_not_join_stuck_writers(self, rng):
+        backend = GateBackend()
+        engine = AsyncCheckpointEngine(CheckpointStore(backend),
+                                       num_writers=1, queue_depth=4)
+        engine.save_full(0, model_state(rng), optimizer_state(rng))
+        assert backend.entered.acquire(timeout=WAIT)
+        with pytest.raises(DrainTimeout):
+            engine.finalize(timeout=0.05)
+        backend.gate.set()  # unblock the daemon writer for teardown
+
+    def test_drain_without_timeout_still_blocks_until_done(self, rng):
+        backend = GateBackend()
+        engine = AsyncCheckpointEngine(CheckpointStore(backend),
+                                       num_writers=1, queue_depth=4)
+        pending = engine.save_diff(1, 1, diff_payload(rng))
+        assert backend.entered.acquire(timeout=WAIT)
+        finished = threading.Event()
+
+        def drainer():
+            engine.drain()  # legacy path: no deadline
+            finished.set()
+
+        thread = threading.Thread(target=drainer)
+        thread.start()
+        assert not finished.wait(0.05)  # still blocked on the gate
+        backend.gate.set()
+        assert finished.wait(WAIT)
+        thread.join(timeout=WAIT)
+        assert pending.done
+        engine.finalize()
+
+    def test_drain_timeout_metric_counted(self, rng):
+        from repro import obs
+        with obs.capture() as active:
+            backend = GateBackend()
+            engine = AsyncCheckpointEngine(CheckpointStore(backend),
+                                           num_writers=1, queue_depth=4)
+            engine.save_diff(1, 1, diff_payload(rng))
+            assert backend.entered.acquire(timeout=WAIT)
+            with pytest.raises(DrainTimeout):
+                engine.drain(timeout=0.05)
+            backend.gate.set()
+            engine.finalize()
+            snapshot = active.registry.snapshot()
+        assert snapshot["ckpt.async.drain_timeouts"] == 1
 
 
 class TestFailStop:

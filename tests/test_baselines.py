@@ -108,6 +108,43 @@ class TestGemini:
         result2 = ckpt.recover_storage(model2, optimizer2)
         assert result2.step == 10
 
+    def test_recover_ladder_prefers_memory_tier(self):
+        trainer = make_mlp_trainer()
+        ckpt = GeminiCheckpointer(CheckpointStore(InMemoryBackend()),
+                                  memory_every=1, storage_every=10)
+        ckpt.attach(trainer)
+        trainer.run(13)
+        model, optimizer = fresh_target()
+        result = ckpt.recover(model, optimizer)
+        assert result.step == 13
+        assert ckpt.stats()["last_recovery_tier"] == "memory"
+        assert ckpt.stats()["recoveries_by_tier"] == {"memory": 1, "storage": 0}
+        assert_states_equal(model.state_dict(), trainer.model_state())
+
+    def test_recover_falls_back_when_memory_tier_lost(self):
+        """Correlated peer loss wipes the memory tier; ``recover`` must
+        degrade to durable storage instead of failing outright."""
+        trainer = make_mlp_trainer()
+        ckpt = GeminiCheckpointer(CheckpointStore(InMemoryBackend()),
+                                  memory_every=1, storage_every=10)
+        ckpt.attach(trainer)
+        trainer.run(13)
+        ckpt.lose_memory_tier()
+        assert ckpt.stats()["memory_tier_losses"] == 1
+        model, optimizer = fresh_target()
+        result = ckpt.recover(model, optimizer)
+        assert result.step == 10  # storage tier's coarser cadence
+        assert ckpt.stats()["last_recovery_tier"] == "storage"
+        assert ckpt.stats()["recoveries_by_tier"]["storage"] == 1
+
+    def test_resumed_attach_restarts_both_tiers(self):
+        trainer = make_mlp_trainer()
+        ckpt = GeminiCheckpointer(CheckpointStore(InMemoryBackend()),
+                                  memory_every=1, storage_every=10)
+        ckpt.attach(trainer, resume_from=7)
+        assert ckpt.memory_tier.latest_full().step == 7
+        assert ckpt.store.latest_full().step == 7
+
     def test_memory_tier_garbage_collected(self):
         trainer = make_mlp_trainer()
         ckpt = GeminiCheckpointer(CheckpointStore(InMemoryBackend()),

@@ -1,0 +1,467 @@
+"""Payload-codec benchmark: bytes on disk, engine parity, lossy bound (PR 7).
+
+Measures the four claims the codec layer makes and writes them to
+``BENCH_PR7.json`` at the repo root:
+
+1. **Bytes on disk** — a full + 64-diff chain persisted uncoded vs with
+   the lossless codec, for the two dominant payload regimes: top-k sparse
+   gradients (sorted int64 indices + float32 values) and quantized
+   gradients (int16 level grids).  Decode bit-exactness is asserted, not
+   assumed.
+2. **Engine parity** — persisting through the async writer-pool engine
+   with the codec enabled must keep the training-thread stall and the
+   recovery wall-clock within 1.1x of the uncoded path: codec CPU rides
+   the writer threads on the way down, and on the way back decode
+   overlaps the per-record fetch latency of threaded recovery (the
+   PR 2 recovery regime — an SSD/remote-emulating backend).
+3. **Encode/decode throughput** — codec MB/s on a representative diff
+   tree, reported alongside the serializer's pack throughput so the
+   codec's share of the write path is visible.
+4. **Lossy bound** — a 64-step SGD chain through the error-bounded lossy
+   codec: the codec's own measured per-restore divergence stays within
+   the configured bound, and the recovered parameters stay within
+   ``lr * bound`` of the uninterrupted run (the error-feedback
+   telescoping property).
+
+``BENCH_QUICK=1`` shrinks every dimension for CI smoke runs (and relaxes
+the ratio/latency assertions, which need realistic sizes to be
+meaningful).  Run directly (``python benchmarks/bench_payload_codec.py``)
+or via pytest; both regenerate the JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.compression import TopKCompressor
+from repro.compression.quantization import QuantizedGradient
+from repro.core.recovery import parallel_recover, serial_recover
+from repro.obs import MetricsRegistry, OBS
+from repro.optim import SGD
+from repro.storage import (
+    AsyncCheckpointEngine,
+    CheckpointStore,
+    InMemoryBackend,
+)
+from repro.storage.payload_codec import (
+    LosslessCodec,
+    logical_nbytes,
+    payload_to_tree,
+)
+from repro.storage.serializer import pack_tree
+from repro.tensor.models import MLP
+from repro.utils.rng import Rng
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+RESULT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "BENCH_PR7.json")
+
+CHAIN_LENGTH = 8 if QUICK else 64
+STALL_ITERATIONS = 8 if QUICK else 32
+FULL_EVERY = 8
+MODEL_SPEC = (64, [128, 128], 16) if QUICK else (256, [512, 512], 64)
+RHO = 0.05
+NUM_LEVELS = 16
+LOSSY_BOUND = 1e-3
+LEARNING_RATE = 0.05
+#: Emulated per-record fetch latency for the recovery section — the
+#: remote/SSD regime the paper recovers from (tens of ms per GET), same
+#: as the PR 2 recovery benchmark; decode CPU must hide behind the
+#: overlapped reads there, not add to them.
+READ_LATENCY_S = 0.002 if QUICK else 0.010
+RECOVERY_WORKERS = 8
+
+BENCH_REGISTRY = MetricsRegistry()
+
+
+def hist_min(name: str) -> float:
+    return BENCH_REGISTRY.snapshot()[f"{name}.s"]["min"]
+
+
+def build_model():
+    return MLP(*MODEL_SPEC, rng=Rng(0))
+
+
+def make_states():
+    model = build_model()
+    optimizer = SGD(model, lr=LEARNING_RATE)
+    return model, optimizer
+
+
+def sparse_payloads(model, count, seed=1):
+    compressor = TopKCompressor(RHO)
+    rng = Rng(seed)
+    return [
+        compressor.compress({
+            name: rng.child(step, name).normal(size=p.shape)
+            for name, p in model.named_parameters()
+        })
+        for step in range(count)
+    ]
+
+
+def quantized_payloads(model, count, seed=2):
+    """Int16 level grids in [-NUM_LEVELS/2, NUM_LEVELS/2): the regime
+    where varint + zlib recovers the entropy gap left by the fixed-width
+    level dtype."""
+    shapes = {name: p.shape for name, p in model.named_parameters()}
+    rng = Rng(seed)
+    payloads = []
+    half = NUM_LEVELS // 2
+    for step in range(count):
+        levels = {
+            name: np.clip(
+                np.round(rng.child(step, name).normal(size=shape) * 2.0),
+                -half, half - 1).astype(np.int16)
+            for name, shape in shapes.items()
+        }
+        payloads.append(QuantizedGradient(
+            levels=levels,
+            scales={name: 1e-3 for name in shapes},
+            shapes=shapes,
+            num_levels=NUM_LEVELS,
+        ))
+    return payloads
+
+
+class SlowReadBackend(InMemoryBackend):
+    """Memory store with emulated per-read fetch latency (SSD/remote)."""
+
+    def __init__(self, read_latency_s: float):
+        super().__init__()
+        self.read_latency_s = read_latency_s
+
+    def _read(self, key: str) -> bytes:
+        time.sleep(self.read_latency_s)
+        return super()._read(key)
+
+
+def compute_kernel(size=320, loops=12):
+    """Stand-in for an iteration's compute (~25 ms of GIL-releasing
+    matmuls the background writers overlap).  Sized so compute dominates
+    per-iteration checkpoint work — the operating point the paper
+    targets; were checkpointing the bottleneck, no pipeline could hide
+    its cost."""
+    a = np.ones((size, size))
+    out = 0.0
+    for _ in range(loops):
+        out += float((a @ a)[0, 0]) * 1e-9
+    return out
+
+
+def trees_bit_equal(a, b) -> bool:
+    if isinstance(a, dict) and isinstance(b, dict):
+        return set(a) == set(b) and all(trees_bit_equal(a[k], b[k]) for k in a)
+    if isinstance(a, np.ndarray) and isinstance(b, np.ndarray):
+        return (a.dtype == b.dtype and a.shape == b.shape
+                and np.array_equal(a.view(np.uint8), b.view(np.uint8)))
+    return a == b
+
+
+# ---------------------------------------------------------------------------
+# 1. Bytes on disk: full + chain, uncoded vs lossless, per payload regime
+# ---------------------------------------------------------------------------
+
+def persist_chain(codec, payloads):
+    model, optimizer = make_states()
+    store = CheckpointStore(InMemoryBackend(), codec=codec)
+    store.save_full(0, model.state_dict(), optimizer.state_dict())
+    for step, payload in enumerate(payloads, start=1):
+        store.save_diff(start=step, end=step, payload=payload)
+    return store
+
+
+def measure_bytes_on_disk() -> dict:
+    model = build_model()
+    workloads = {
+        "sparse_topk": sparse_payloads(model, CHAIN_LENGTH),
+        "quantized": quantized_payloads(model, CHAIN_LENGTH),
+    }
+    out = {"chain_length": CHAIN_LENGTH}
+    for name, payloads in workloads.items():
+        plain = persist_chain(None, payloads)
+        coded = persist_chain("lossless", payloads)
+        plain_bytes = sum(plain.storage_bytes().values())
+        coded_bytes = sum(coded.storage_bytes().values())
+        diff_plain = plain.storage_bytes()["diff"]
+        diff_coded = coded.storage_bytes()["diff"]
+        # Decode bit-exactness spot check on the chain's endpoints.
+        records = coded.diffs()
+        decode_exact = all(
+            trees_bit_equal(payload_to_tree(coded.load_diff(record)),
+                            payload_to_tree(payloads[record.end - 1]))
+            for record in (records[0], records[-1]))
+        out[name] = {
+            "uncoded_bytes": plain_bytes,
+            "coded_bytes": coded_bytes,
+            "ratio_x": plain_bytes / coded_bytes,
+            "diff_ratio_x": diff_plain / diff_coded,
+            "raw_payload_bytes": sum(r.raw_nbytes for r in coded.diffs()),
+            "decode_bit_exact": decode_exact,
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# 2. Engine parity: stall + recovery, coded vs uncoded
+# ---------------------------------------------------------------------------
+
+def run_engine(codec, payloads) -> float:
+    model, optimizer = make_states()
+    store = CheckpointStore(InMemoryBackend(), codec=codec)
+    engine = AsyncCheckpointEngine(store, num_writers=2, queue_depth=8)
+    stall = 0.0
+    for step in range(STALL_ITERATIONS):
+        compute_kernel()
+        started = time.perf_counter()
+        if step % FULL_EVERY == 0:
+            engine.save_full(step, model.state_dict(),
+                             optimizer.state_dict())
+        else:
+            engine.save_diff(step, step, payloads[step])
+        stall += time.perf_counter() - started
+    engine.finalize()
+    return stall / STALL_ITERATIONS
+
+
+def populate_recovery_chain(codec):
+    model, optimizer = make_states()
+    store = CheckpointStore(SlowReadBackend(READ_LATENCY_S), codec=codec)
+    store.save_full(0, model.state_dict(), optimizer.state_dict())
+    for step, payload in enumerate(
+            sparse_payloads(model, CHAIN_LENGTH, seed=4), start=1):
+        optimizer.step_with(payload.decompress())
+        store.save_diff(start=step, end=step, payload=payload)
+    return store, model.state_dict()
+
+
+def recover_once(store, label):
+    model, optimizer = make_states()
+    with obs.timed(label, registry=BENCH_REGISTRY):
+        result = parallel_recover(store, model, optimizer,
+                                  max_workers=RECOVERY_WORKERS)
+    return model.state_dict(), result
+
+
+def measure_engine_parity() -> dict:
+    payloads = sparse_payloads(build_model(), STALL_ITERATIONS, seed=3)
+    run_engine(None, payloads)  # warm-up (buffer pools, allocator)
+    uncoded_stall = min(run_engine(None, payloads) for _ in range(2))
+    coded_stall = min(run_engine("lossless", payloads) for _ in range(2))
+
+    plain_store, truth = populate_recovery_chain(None)
+    coded_store, coded_truth = populate_recovery_chain("lossless")
+    for _ in range(5):
+        recover_once(plain_store, "bench.codec.recover.uncoded")
+        recover_once(coded_store, "bench.codec.recover.coded")
+    plain_state, plain_result = recover_once(
+        plain_store, "bench.codec.recover.uncoded")
+    coded_state, coded_result = recover_once(
+        coded_store, "bench.codec.recover.coded")
+    assert plain_result.step == coded_result.step == CHAIN_LENGTH
+    # The codec claim is coded == uncoded bit-for-bit through the same
+    # recovery path.  Parallel replay merges diffs pairwise, so its float
+    # association differs from the sequential training loop — truth is
+    # checked to tolerance, not bit-exactness.
+    bit_exact = all(
+        np.array_equal(plain_state[name], coded_state[name])
+        for name in plain_state)
+    matches_truth = all(
+        np.allclose(coded_state[name], truth[name], rtol=0.0, atol=1e-6)
+        for name in plain_state)
+    uncoded_recover = hist_min("bench.codec.recover.uncoded")
+    coded_recover = hist_min("bench.codec.recover.coded")
+    return {
+        "stall": {
+            "iterations": STALL_ITERATIONS,
+            "uncoded_s_per_iter": uncoded_stall,
+            "coded_s_per_iter": coded_stall,
+            "ratio_x": coded_stall / uncoded_stall,
+        },
+        "recovery": {
+            "chain_length": CHAIN_LENGTH,
+            "read_latency_ms": READ_LATENCY_S * 1e3,
+            "workers": RECOVERY_WORKERS,
+            "uncoded_s": uncoded_recover,
+            "coded_s": coded_recover,
+            "ratio_x": coded_recover / uncoded_recover,
+            "bit_exact": bit_exact,
+            "matches_truth": matches_truth,
+            "recovered_step": coded_result.step,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# 3. Encode/decode throughput vs serializer pack throughput
+# ---------------------------------------------------------------------------
+
+def measure_throughput() -> dict:
+    model = build_model()
+    tree = {"payload": payload_to_tree(sparse_payloads(model, 1, seed=6)[0])}
+    raw = logical_nbytes(tree)
+    codec = LosslessCodec()
+    encoded = codec.encode_tree(tree)
+    rounds = 3 if QUICK else 8
+
+    def throughput(label, fn):
+        for _ in range(rounds):
+            with obs.timed(label, registry=BENCH_REGISTRY):
+                fn()
+        return raw / hist_min(label) / 1e6
+
+    encode_mb_s = throughput("bench.codec.encode",
+                             lambda: codec.encode_tree(tree))
+    decode_mb_s = throughput("bench.codec.decode",
+                             lambda: codec.decode_tree(dict(encoded)))
+    pack_mb_s = throughput("bench.codec.pack", lambda: pack_tree(tree))
+    return {
+        "payload_mb": raw / 1e6,
+        "encode_mb_s": encode_mb_s,
+        "decode_mb_s": decode_mb_s,
+        "serializer_pack_mb_s": pack_mb_s,
+        "encode_vs_pack_fraction": pack_mb_s / encode_mb_s,
+    }
+
+
+# ---------------------------------------------------------------------------
+# 4. Lossy mode: measured divergence vs configured bound
+# ---------------------------------------------------------------------------
+
+def measure_lossy() -> dict:
+    model, optimizer = make_states()
+    store = CheckpointStore(InMemoryBackend())
+    store.set_codec("lossy", error_bound=LOSSY_BOUND)
+    store.save_full(0, model.state_dict(), optimizer.state_dict())
+    for step, payload in enumerate(
+            sparse_payloads(model, CHAIN_LENGTH, seed=5), start=1):
+        optimizer.step_with(payload.decompress())
+        store.save_diff(start=step, end=step, payload=payload)
+    truth = model.state_dict()
+
+    rec_model, rec_optimizer = make_states()
+    result = serial_recover(store, rec_model, rec_optimizer)
+    assert result.step == CHAIN_LENGTH
+    recovered = rec_model.state_dict()
+    param_divergence = max(
+        float(np.max(np.abs(recovered[name] - truth[name])))
+        if recovered[name].size else 0.0
+        for name in truth)
+    codec_stats = store.codec.stats()
+    # Error feedback telescopes: the decoded-diff sum differs from the true
+    # sum by at most the bound, which SGD maps to lr * bound on parameters.
+    param_bound = LEARNING_RATE * LOSSY_BOUND * 1.01 + 1e-9
+    return {
+        "chain_length": CHAIN_LENGTH,
+        "error_bound": LOSSY_BOUND,
+        "measured_divergence": codec_stats["measured_divergence"],
+        "values_quantized": codec_stats["values_quantized"],
+        "param_divergence": param_divergence,
+        "param_bound": param_bound,
+        "within_bound": (codec_stats["measured_divergence"] <= LOSSY_BOUND
+                         and param_divergence <= param_bound),
+    }
+
+
+def run_all(trace_path: str | None = None,
+            metrics_path: str | None = None) -> dict:
+    with obs.capture() as active:
+        results = {
+            "benchmark": "payload-codec",
+            "quick_mode": QUICK,
+            "cpu_count": os.cpu_count(),
+            "bytes_on_disk": measure_bytes_on_disk(),
+            "engine_parity": measure_engine_parity(),
+            "throughput": measure_throughput(),
+            "lossy": measure_lossy(),
+        }
+        # The stores above count into the active capture's registry: the
+        # storage.bytes.* raw/encoded counters land in the artifact so the
+        # report CLI's compression section has a live data source.
+        snapshot = active.registry.snapshot()
+        results["storage_counters"] = {
+            name: value for name, value in snapshot.items()
+            if name.startswith("storage.bytes.")
+        }
+        results["registry_metrics"] = BENCH_REGISTRY.snapshot()
+        if trace_path:
+            active.tracer.save(trace_path)
+        if metrics_path:
+            merged = active.registry.snapshot()
+            merged.update(BENCH_REGISTRY.snapshot())
+            with open(metrics_path, "w") as handle:
+                json.dump(merged, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+    with open(RESULT_PATH, "w") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    return results
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_all()
+
+
+def test_lossless_ratio_on_chain(results):
+    disk = results["bytes_on_disk"]
+    for workload in ("sparse_topk", "quantized"):
+        assert disk[workload]["decode_bit_exact"]
+        assert disk[workload]["coded_bytes"] <= disk[workload]["uncoded_bytes"]
+    if not QUICK:
+        # Acceptance: >= 3x on the quantized 64-diff chain (the entropy-gap
+        # regime the codec targets) and >= 1.5x on top-k sparse.
+        assert disk["quantized"]["ratio_x"] >= 3.0
+        assert disk["sparse_topk"]["ratio_x"] >= 1.5
+
+
+def test_engine_stall_and_recovery_parity(results):
+    parity = results["engine_parity"]
+    assert parity["recovery"]["bit_exact"]
+    assert parity["recovery"]["matches_truth"]
+    assert parity["recovery"]["recovered_step"] == CHAIN_LENGTH
+    if not QUICK:
+        # Acceptance: codec CPU stays off the training thread and recovery
+        # overhead stays within 1.1x (small absolute epsilon damps timer
+        # noise at sub-millisecond stall scales).
+        stall = parity["stall"]
+        assert stall["coded_s_per_iter"] <= \
+            stall["uncoded_s_per_iter"] * 1.1 + 1e-3
+        recovery = parity["recovery"]
+        assert recovery["coded_s"] <= recovery["uncoded_s"] * 1.1 + 0.05
+
+
+def test_encode_throughput_reported(results):
+    throughput = results["throughput"]
+    assert throughput["encode_mb_s"] > 0
+    assert throughput["decode_mb_s"] > 0
+    if not QUICK:
+        # The codec must not be an order of magnitude behind the
+        # serializer it feeds.
+        assert throughput["encode_mb_s"] >= 10.0
+
+
+def test_lossy_within_bound(results):
+    lossy = results["lossy"]
+    assert lossy["values_quantized"] > 0
+    assert lossy["within_bound"]
+    assert lossy["measured_divergence"] <= lossy["error_bound"]
+    assert lossy["param_divergence"] <= lossy["param_bound"]
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome-trace JSON of the run")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="write the merged metrics snapshot JSON")
+    cli = parser.parse_args()
+    print(json.dumps(run_all(trace_path=cli.trace, metrics_path=cli.metrics),
+                     indent=2))

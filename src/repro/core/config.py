@@ -37,6 +37,14 @@ class CheckpointConfig:
     ``writer_threads``/``queue_depth`` size the pool and the outstanding-
     record bound; both are ignored in the default synchronous mode, which
     stays bit-exact-deterministic for tests.
+
+    ``codec`` selects the payload codec applied to every persisted record
+    (``repro.storage.payload_codec`` registry): ``None`` (default) writes
+    uncoded bytes identical to earlier revisions, ``"lossless"`` enables
+    the bit-exact delta-varint/byte-plane paths, ``"lossy"`` additionally
+    quantizes diff values under ``lossy_error_bound`` with error feedback
+    (fulls always stay lossless, so recovery divergence is bounded by the
+    per-value bound rather than accumulating).
     """
 
     full_every_iters: int        # FCF: iterations between full checkpoints
@@ -44,6 +52,8 @@ class CheckpointConfig:
     async_persist: bool = False  # opt-in background persistence engine
     writer_threads: int = 2      # engine writer pool size
     queue_depth: int = 8         # engine backpressure bound
+    codec: str | None = None     # payload codec id; None = uncoded
+    lossy_error_bound: float = 1e-3  # max |decoded - true| per value ("lossy")
 
     def __post_init__(self):
         if self.full_every_iters < 1:
@@ -54,6 +64,9 @@ class CheckpointConfig:
             raise ValueError(f"writer_threads must be >= 1, got {self.writer_threads}")
         if self.queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.lossy_error_bound <= 0:
+            raise ValueError(
+                f"lossy_error_bound must be > 0, got {self.lossy_error_bound}")
 
 
 @dataclass(frozen=True)

@@ -103,6 +103,12 @@ class LowDiffCheckpointer:
                  retention=None, model_factory=None, optimizer_factory=None):
         self.store = store
         self.config = config
+        # Config-selected payload codec: applied store-wide before the
+        # engine is built, so sync and async persist paths both encode.
+        if getattr(config, "codec", None):
+            store.set_codec(config.codec,
+                            error_bound=getattr(config, "lossy_error_bound",
+                                                None))
         self.queue = ReusingQueue(maxsize=queue_maxsize, copy_mode=not zero_copy)
         # With async_persist the engine becomes the persistence target for
         # both full snapshots and the batched writer's diff records; every
@@ -319,4 +325,6 @@ class LowDiffCheckpointer:
         }
         if self.engine is not None:
             out["engine"] = self.engine.stats()
+        if self.store.codec is not None:
+            out["codec"] = self.store.codec.stats()
         return out

@@ -7,12 +7,19 @@ into the numbers the paper reports: where the time went per phase and
 per track, and the effective-training-time ratio — the fraction of
 wall-clock not attributed to checkpointing stalls (comparable to the
 Gemini-style metric of Exps. 9-10).
+
+``python -m repro.obs.report --bench-history`` consolidates the per-PR
+``BENCH_*.json`` artifacts the benchmark suite emits into one
+side-by-side trajectory table, so a regression in any headline number is
+visible across PRs without opening each file.
 """
 
 from __future__ import annotations
 
 import argparse
+import glob
 import json
+import os
 import sys
 
 #: Event categories counted as checkpointing overhead when computing the
@@ -112,6 +119,24 @@ def render_trace(summary: dict, top: int = 0) -> str:
     return "\n".join(lines)
 
 
+def storage_ratios(snapshot: dict) -> dict:
+    """Derive compression ratios from ``storage.bytes.*`` counters.
+
+    Returns ``{scope: (raw, encoded, ratio)}`` for every scope (overall,
+    ``full``, ``diff``) where both counters are present and non-zero.
+    """
+    out = {}
+    for scope, raw_key, enc_key in (
+            ("all", "storage.bytes.raw", "storage.bytes.encoded"),
+            ("full", "storage.bytes.full.raw", "storage.bytes.full.encoded"),
+            ("diff", "storage.bytes.diff.raw", "storage.bytes.diff.encoded")):
+        raw, enc = snapshot.get(raw_key), snapshot.get(enc_key)
+        if isinstance(raw, (int, float)) and isinstance(enc, (int, float)) \
+                and raw > 0 and enc > 0:
+            out[scope] = (raw, enc, raw / enc)
+    return out
+
+
 def render_metrics(snapshot: dict) -> str:
     """Group a flat metrics snapshot by its leading name component."""
     groups: dict[str, list] = {}
@@ -131,6 +156,96 @@ def render_metrics(snapshot: dict) -> str:
                     f"max={value.get('max')}")
             else:
                 lines.append(f"    {name:<44} {value}")
+    ratios = storage_ratios(snapshot)
+    if ratios:
+        lines.append("  [storage compression]")
+        for scope, (raw, enc, ratio) in ratios.items():
+            lines.append(f"    {scope:<10} raw={raw:.0f} B  "
+                         f"encoded={enc:.0f} B  ratio={ratio:.3f}x")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Bench-history consolidation (BENCH_*.json trajectory)
+# ---------------------------------------------------------------------------
+
+def _flatten_bench(node, prefix="", out=None) -> dict:
+    """Flatten one BENCH_*.json to dotted scalar leaves.
+
+    Histogram bucket breakdowns and raw lists add noise at trajectory
+    granularity, so buckets are skipped and lists collapsed to a length.
+    """
+    if out is None:
+        out = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key == "buckets":
+                continue
+            if isinstance(value, (dict, list)):
+                _flatten_bench(value, f"{prefix}{key}.", out)
+            else:
+                out[f"{prefix}{key}"] = value
+    elif isinstance(node, list):
+        out[prefix.rstrip(".") + ".len"] = len(node)
+        if node and all(isinstance(item, dict) for item in node):
+            for index, item in enumerate(node):
+                _flatten_bench(item, f"{prefix.rstrip('.')}[{index}].", out)
+    return out
+
+
+def collect_bench_history(directory: str, pattern: str = "BENCH_*.json") -> dict:
+    """Load every ``BENCH_*.json`` under ``directory`` into flat tables.
+
+    Returns ``{file_stem: {metric: value}}`` ordered by file name.
+    """
+    history: dict[str, dict] = {}
+    for path in sorted(glob.glob(os.path.join(directory, pattern))):
+        stem = os.path.splitext(os.path.basename(path))[0]
+        stem = stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+        try:
+            history[stem] = _flatten_bench(load_json(path))
+        except (json.JSONDecodeError, OSError) as error:
+            history[stem] = {"__error__": str(error)}
+    return history
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_bench_history(history: dict, grep: str | None = None) -> str:
+    """Side-by-side trajectory table: rows = metrics, columns = PRs."""
+    if not history:
+        return "bench history: no BENCH_*.json files found"
+    columns = list(history)
+    rows: list[str] = []
+    seen = set()
+    for table in history.values():
+        for name in table:
+            if name not in seen:
+                seen.add(name)
+                rows.append(name)
+    if grep:
+        needle = grep.lower()
+        rows = [r for r in rows if needle in r.lower()]
+    name_width = max([len(r) for r in rows] + [len("metric")])
+    col_width = max([len(c) for c in columns] + [12])
+    lines = [f"bench history ({len(columns)} artifacts)"]
+    header = f"  {'metric':<{name_width}}"
+    for col in columns:
+        header += f" {col:>{col_width}}"
+    lines.append(header)
+    for row in rows:
+        line = f"  {row:<{name_width}}"
+        for col in columns:
+            value = history[col].get(row)
+            cell = "-" if value is None else _format_cell(value)
+            line += f" {cell:>{col_width}}"
+        lines.append(line)
     return "\n".join(lines)
 
 
@@ -149,12 +264,27 @@ def main(argv=None) -> int:
     parser.add_argument("--json", action="store_true",
                         help="emit the aggregated summary as JSON instead "
                              "of tables")
+    parser.add_argument("--bench-history", action="store_true",
+                        help="consolidate BENCH_*.json artifacts into one "
+                             "side-by-side per-PR trajectory table")
+    parser.add_argument("--bench-dir", default=".",
+                        help="directory scanned for BENCH_*.json "
+                             "(default: current directory)")
+    parser.add_argument("--grep", default=None,
+                        help="with --bench-history: only show metric rows "
+                             "containing this substring")
     args = parser.parse_args(argv)
-    if args.trace is None and args.metrics is None:
-        parser.error("provide a trace file and/or --metrics")
+    if args.trace is None and args.metrics is None \
+            and not args.bench_history:
+        parser.error("provide a trace file, --metrics, and/or "
+                     "--bench-history")
 
     out: dict = {}
     sections: list[str] = []
+    if args.bench_history:
+        history = collect_bench_history(args.bench_dir)
+        out["bench_history"] = history
+        sections.append(render_bench_history(history, grep=args.grep))
     if args.trace is not None:
         summary = summarize_trace(load_json(args.trace))
         out["trace"] = {

@@ -50,6 +50,14 @@ class CheckpointStrategy:
         #: ``run_with_failures`` prices detection latency and degraded-mode
         #: throughput for worker-level failure events.
         self.supervisor = None
+        #: Payload-codec pricing (neutral defaults = uncoded behaviour):
+        #: persisted bytes divide by ``codec_ratio`` and each persist adds
+        #: ``codec_encode_s_per_gb`` of CPU per *raw* GB; recovery replay
+        #: adds ``codec_decode_s_per_gb`` (consumed by ``failure_profile``
+        #: in subclasses that model recovery byte volume).
+        self.codec_ratio = 1.0
+        self.codec_encode_s_per_gb = 0.0
+        self.codec_decode_s_per_gb = 0.0
 
     # Engine wiring ---------------------------------------------------------
     def bind(self, sim) -> None:
@@ -126,15 +134,44 @@ class CheckpointStrategy:
         self.supervisor = model
         return self
 
+    def set_codec_model(self, ratio: float = 1.0,
+                        encode_s_per_gb: float = 0.0,
+                        decode_s_per_gb: float = 0.0) -> "CheckpointStrategy":
+        """Price a payload codec on the persist path (chainable).
+
+        ``ratio`` is raw/encoded bytes (>= 1 shrinks persisted volume);
+        the encode/decode coefficients are CPU seconds per raw gigabyte
+        (measured by ``benchmarks/bench_payload_codec.py``).  Defaults
+        restore uncoded behaviour exactly.
+        """
+        if ratio <= 0:
+            raise ValueError(f"codec ratio must be > 0, got {ratio}")
+        self.codec_ratio = float(ratio)
+        self.codec_encode_s_per_gb = float(encode_s_per_gb)
+        self.codec_decode_s_per_gb = float(decode_s_per_gb)
+        return self
+
+    def _codec_encode_s(self, raw_nbytes: float) -> float:
+        """Encode CPU time for a ``raw_nbytes`` payload (0 when uncoded)."""
+        return self.codec_encode_s_per_gb * raw_nbytes / 1e9
+
+    def _codec_decode_s(self, raw_nbytes: float) -> float:
+        """Decode CPU time for a ``raw_nbytes`` payload (0 when uncoded)."""
+        return self.codec_decode_s_per_gb * raw_nbytes / 1e9
+
     def _schedule_persist(self, nbytes: float) -> None:
+        # The channel moves encoded bytes; the encode stage is CPU work on
+        # the persist path (writer threads), so it occupies the same
+        # resource window — exactly how the async engine serializes.
+        wire_nbytes = nbytes / self.codec_ratio
         resource, duration = self._persist_channel()
-        time_s = duration(nbytes)
+        time_s = duration(wire_nbytes) + self._codec_encode_s(nbytes)
         if self.storage_faults is not None:
             extra = self.storage_faults.persist_overhead_s(time_s)
             self.persist_retry_time_s += extra
             time_s += extra
             self.count("persist_faulted")
-        resource.schedule(self.sim.now, time_s, nbytes=nbytes,
+        resource.schedule(self.sim.now, time_s, nbytes=wire_nbytes,
                           label="persist", category="ckpt")
 
     @staticmethod

@@ -146,11 +146,18 @@ class LowDiffStrategy(CheckpointStrategy):
         # writer applies on the live path.
         write_bytes = runs * workload.batched_diff_bytes(
             fan_in * self.batch_size)
+        # Compaction moves *encoded* records: IO shrinks by the codec
+        # ratio, but each merged record is decoded and the super-diff
+        # re-encoded (CPU on the same channel, like the live persist path).
+        read_wire = read_bytes / self.codec_ratio
+        write_wire = write_bytes / self.codec_ratio
         resource, duration = self._persist_channel()
-        io_time = workload.read_time(read_bytes) + duration(write_bytes)
-        resource.schedule(sim.now, io_time, nbytes=read_bytes + write_bytes,
+        io_time = (workload.read_time(read_wire) + duration(write_wire)
+                   + self._codec_decode_s(read_bytes)
+                   + self._codec_encode_s(write_bytes))
+        resource.schedule(sim.now, io_time, nbytes=read_wire + write_wire,
                           label="compaction", category="ckpt")
-        self.compaction_io_bytes += read_bytes + write_bytes
+        self.compaction_io_bytes += read_wire + write_wire
         self.count("compact")
 
     def on_finish(self, final_iteration: int) -> None:
@@ -180,6 +187,12 @@ class LowDiffStrategy(CheckpointStrategy):
             replay = depth * merge_each
         else:
             replay = batches_to_replay * merge_each
+        # Recovery decodes every replayed record plus the full it chains
+        # from (decode CPU is serial with the replay; the reduced *read*
+        # volume is deliberately not credited — conservative).
+        replay += self._codec_decode_s(
+            batches_to_replay * workload.batched_diff_bytes(self.batch_size)
+            + workload.full_checkpoint_bytes)
         return FailureProfile(
             # In-flight (unwritten) batch is lost: b/2 expected, plus the
             # half diff interval.
@@ -194,4 +207,4 @@ class LowDiffStrategy(CheckpointStrategy):
             workload.batched_diff_bytes(self.batch_size)
             / (self.batch_size * self.diff_every)
             + workload.full_checkpoint_bytes / self.full_every
-        )
+        ) / self.codec_ratio

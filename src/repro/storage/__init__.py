@@ -34,6 +34,15 @@ from repro.storage.resilience import (
     VirtualClock,
     collect_resilience_stats,
 )
+from repro.storage.payload_codec import (
+    ErrorBoundedLossyCodec,
+    LosslessCodec,
+    PayloadCodec,
+    UnknownCodecError,
+    get_codec,
+    make_codec,
+    register_codec,
+)
 from repro.storage.checkpoint_store import (
     CheckpointStore,
     FullCheckpointRecord,
@@ -74,6 +83,13 @@ __all__ = [
     "TieredBackend",
     "VirtualClock",
     "collect_resilience_stats",
+    "ErrorBoundedLossyCodec",
+    "LosslessCodec",
+    "PayloadCodec",
+    "UnknownCodecError",
+    "get_codec",
+    "make_codec",
+    "register_codec",
     "CheckpointStore",
     "FullCheckpointRecord",
     "DiffCheckpointRecord",

@@ -325,12 +325,23 @@ class AsyncCheckpointEngine:
                   count: int | None = None) -> PendingWrite:
         """Queue a differential record.  Ownership of ``payload`` passes to
         the engine (the batched writer hands over its merged batch and
-        drops its reference), so no staging copy is needed."""
+        drops its reference), so no staging copy is needed.
+
+        A lossy store codec's quantization stage is applied *here*, on the
+        submitting thread: error feedback is order-dependent, and writer
+        threads dequeue in nondeterministic order.  The heavyweight
+        stateless byte/entropy stage still runs on the writer pool.
+        """
         meta = {
             "start": int(start), "end": int(end),
             "count": int(count if count is not None else end - start + 1),
         }
-        return self._submit(_Task(seq=-1, kind="diff", item=payload, meta=meta))
+        item = payload
+        codec = self.store.codec
+        if codec is not None and codec.lossy:
+            item = codec.pre_encode_diff_tree(payload_to_tree(payload))
+            meta["pre_encoded"] = True
+        return self._submit(_Task(seq=-1, kind="diff", item=item, meta=meta))
 
     def _submit(self, task: _Task) -> PendingWrite:
         with self._lock:
@@ -391,12 +402,22 @@ class AsyncCheckpointEngine:
                 with obs_span("serialize", "ckpt",
                               {"kind": task.kind, "seq": task.seq}):
                     started = time.perf_counter()
+                    pre_encoded = task.meta.get("pre_encoded", False)
                     if task.kind == "full":
                         tree = task.item  # staged by save_full
                     else:
+                        payload_tree = task.item if pre_encoded \
+                            else payload_to_tree(task.item)
                         tree = CheckpointStore.diff_tree(
                             task.meta["start"], task.meta["end"],
-                            task.meta["count"], payload_to_tree(task.item))
+                            task.meta["count"], payload_tree)
+                    # Codec CPU (byte shuffles, zlib) runs here on the
+                    # writer thread, off the training hot path.
+                    tree, codec_id, raw_nbytes = \
+                        self.store.encode_record_tree(
+                            tree, task.kind, pre_encoded=pre_encoded)
+                    task.meta["codec"] = codec_id
+                    task.meta["raw_nbytes"] = raw_nbytes
                     buffer = self.pool.acquire()
                     view, crc = pack_tree_into(tree, buffer)
                     elapsed = time.perf_counter() - started
@@ -425,11 +446,15 @@ class AsyncCheckpointEngine:
                     started = time.perf_counter()
                     if task.kind == "full":
                         record = self.store.save_full_bytes(
-                            task.meta["step"], view, crc)
+                            task.meta["step"], view, crc,
+                            codec=task.meta.get("codec", ""),
+                            raw_nbytes=task.meta.get("raw_nbytes", 0))
                     else:
                         record = self.store.save_diff_bytes(
                             task.meta["start"], task.meta["end"],
-                            task.meta["count"], view, crc)
+                            task.meta["count"], view, crc,
+                            codec=task.meta.get("codec", ""),
+                            raw_nbytes=task.meta.get("raw_nbytes", 0))
                     elapsed = time.perf_counter() - started
                     self.commit_time_s += elapsed
                 if OBS.enabled:

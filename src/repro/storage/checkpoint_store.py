@@ -44,8 +44,18 @@ import threading
 import zlib
 from dataclasses import dataclass
 
+from repro.obs import OBS
 from repro.storage.backends import StorageBackend
-from repro.storage.payload_codec import payload_to_tree, tree_to_payload
+from repro.storage.payload_codec import (
+    CODEC_REGISTRY,
+    CODEC_TAG,
+    UnknownCodecError,
+    get_codec,
+    logical_nbytes,
+    make_codec,
+    payload_to_tree,
+    tree_to_payload,
+)
 from repro.storage.serializer import (
     CorruptCheckpointError,
     pack_tree_with_crc,
@@ -65,6 +75,8 @@ class FullCheckpointRecord:
     key: str
     nbytes: int
     crc: int = 0  # CRC32 of the serialized bytes; 0 = legacy record, unverified
+    codec: str = ""      # payload codec id; "" = uncoded (pre-codec record)
+    raw_nbytes: int = 0  # logical payload bytes before encoding; 0 = unknown
 
 
 @dataclass(frozen=True)
@@ -75,13 +87,43 @@ class DiffCheckpointRecord:
     nbytes: int
     count: int  # number of gradients accumulated into this diff
     crc: int = 0
+    codec: str = ""
+    raw_nbytes: int = 0
 
 
 class CheckpointStore:
-    """Full/differential checkpoint series with a checksummed manifest index."""
+    """Full/differential checkpoint series with a checksummed manifest index.
 
-    def __init__(self, backend: StorageBackend):
+    Parameters
+    ----------
+    backend:
+        The storage backend holding blobs and the manifest.
+    codec:
+        Optional payload codec applied to every record this store writes:
+        a registered codec id (``"lossless"``/``"lossy"``), a
+        :class:`~repro.storage.payload_codec.PayloadCodec` instance, or
+        ``None`` (default — uncoded, byte-identical with earlier
+        revisions).  Reads are codec-agnostic: each record's decoder is
+        selected from its manifest entry / in-blob tag, so mixed and
+        legacy (uncoded) series stay readable regardless of this setting.
+    strict_codecs:
+        When ``True`` (default), opening a store whose manifest names a
+        codec id this build does not register raises a typed
+        :class:`~repro.storage.payload_codec.UnknownCodecError`
+        immediately — failing at open beats failing mid-recovery.
+        ``False`` defers: the ids are collected in ``unknown_codecs``,
+        ``verify()`` flags the affected records, and only an actual read
+        of one raises.
+    """
+
+    def __init__(self, backend: StorageBackend, codec=None,
+                 strict_codecs: bool = True):
         self.backend = backend
+        self.codec = make_codec(codec)
+        self.strict_codecs = bool(strict_codecs)
+        #: Codec ids named by manifest records that this build does not
+        #: register (populated when ``strict_codecs=False``).
+        self.unknown_codecs: list[str] = []
         #: Serializes every manifest-mutating operation (saves, gc,
         #: compaction, repair).  Without it, ``gc(purge_unreferenced=True)``
         #: on the training thread can list keys while an async-engine
@@ -106,6 +148,58 @@ class CheckpointStore:
             # Data without an index (manifest lost to a crash or tier
             # failure): reconstruct it rather than silently starting over.
             self._rebuild_manifest_from_keys()
+        self._check_record_codecs()
+
+    # Codec ----------------------------------------------------------------
+    def set_codec(self, codec, error_bound: float | None = None) -> None:
+        """Switch the codec applied to subsequent writes (reads are
+        unaffected — they always follow each record's own codec id)."""
+        self.codec = make_codec(codec, error_bound=error_bound)
+
+    def _check_record_codecs(self) -> None:
+        unknown = sorted({r.codec for r in self._fulls + self._diffs
+                          if r.codec and r.codec not in CODEC_REGISTRY})
+        self.unknown_codecs = unknown
+        if unknown and self.strict_codecs:
+            hit = [r.key for r in self._fulls + self._diffs
+                   if r.codec == unknown[0]]
+            raise UnknownCodecError(
+                unknown[0],
+                f"manifest references {len(hit)} record(s), e.g. {hit[0]}")
+
+    def encode_record_tree(self, tree: dict, kind: str,
+                            pre_encoded: bool = False):
+        """Apply the store codec to a record tree before packing.
+
+        Returns ``(tree, codec_id, raw_nbytes)``.  ``kind`` is ``"full"``
+        or ``"diff"``; only diff payloads ever see a lossy codec's
+        stateful quantization stage, and ``pre_encoded=True`` skips it
+        (async-engine submissions quantize in chain order at submit time;
+        compaction re-encodes already-quantized merges without adding a
+        second round of error).
+        """
+        codec = self.codec
+        if codec is None:
+            return tree, "", 0
+        raw_nbytes = logical_nbytes(tree)
+        if kind == "diff" and codec.lossy and not pre_encoded:
+            tree = dict(tree)
+            tree["payload"] = codec.pre_encode_diff_tree(tree["payload"])
+        return codec.encode_tree(tree), codec.codec_id, raw_nbytes
+
+    @staticmethod
+    def _count_storage_bytes(kind: str, encoded_nbytes: int,
+                             raw_nbytes: int) -> None:
+        """`storage.bytes.*` counters: raw (logical payload) vs encoded
+        (container on disk) bytes per committed record."""
+        if not OBS.enabled:
+            return
+        raw = raw_nbytes if raw_nbytes else encoded_nbytes
+        OBS.registry.counter("storage.bytes.raw").inc(raw)
+        OBS.registry.counter("storage.bytes.encoded").inc(encoded_nbytes)
+        OBS.registry.counter(f"storage.bytes.{kind}.raw").inc(raw)
+        OBS.registry.counter(
+            f"storage.bytes.{kind}.encoded").inc(encoded_nbytes)
 
     # Manifest ------------------------------------------------------------
     @staticmethod
@@ -167,15 +261,19 @@ class CheckpointStore:
             try:
                 data = self.backend.read(key)
                 tree = unpack_tree(data)
+                # Codecs only transform array leaves, so the scalar
+                # metadata (step/start/end/count) survives encoding and
+                # the in-blob tag recovers each record's codec id.
+                codec_id = str(tree.get(CODEC_TAG, ""))
                 if full_match:
                     fulls.append(FullCheckpointRecord(
                         step=int(tree["step"]), key=key, nbytes=len(data),
-                        crc=zlib.crc32(data)))
+                        crc=zlib.crc32(data), codec=codec_id))
                 else:
                     diffs.append(DiffCheckpointRecord(
                         start=int(tree["start"]), end=int(tree["end"]), key=key,
                         nbytes=len(data), count=int(tree["count"]),
-                        crc=zlib.crc32(data)))
+                        crc=zlib.crc32(data), codec=codec_id))
             except (CorruptCheckpointError, KeyError, TypeError):
                 self._quarantine_key(key)
             except OSError:
@@ -257,12 +355,14 @@ class CheckpointStore:
         ``step`` means: this state is the result of ``step`` optimizer
         updates; replaying diff ``step+1`` on it advances to ``step+1``.
         """
-        data, crc = pack_tree_with_crc(
-            self.full_tree(step, model_state, optimizer_state, extra))
-        return self.save_full_bytes(step, data, crc)
+        tree, codec_id, raw_nbytes = self.encode_record_tree(
+            self.full_tree(step, model_state, optimizer_state, extra), "full")
+        data, crc = pack_tree_with_crc(tree)
+        return self.save_full_bytes(step, data, crc, codec=codec_id,
+                                    raw_nbytes=raw_nbytes)
 
-    def save_full_bytes(self, step: int, data, crc: int
-                        ) -> FullCheckpointRecord:
+    def save_full_bytes(self, step: int, data, crc: int, codec: str = "",
+                        raw_nbytes: int = 0) -> FullCheckpointRecord:
         """Persist an already-serialized full checkpoint.
 
         ``data`` is the packed container (bytes or memoryview) and ``crc``
@@ -275,10 +375,13 @@ class CheckpointStore:
             self.backend.write(key, data)
             record = FullCheckpointRecord(step=int(step), key=key,
                                           nbytes=len(data),
-                                          crc=crc & 0xFFFFFFFF)
+                                          crc=crc & 0xFFFFFFFF,
+                                          codec=codec,
+                                          raw_nbytes=int(raw_nbytes))
             self._fulls = [r for r in self._fulls if r.step != step] + [record]
             self._fulls.sort(key=lambda r: r.step)
             self._commit_manifest()
+        self._count_storage_bytes("full", len(data), raw_nbytes)
         return record
 
     def save_diff(self, start: int, end: int, payload, count: int | None = None
@@ -293,11 +396,15 @@ class CheckpointStore:
         the previous record (the legitimate retry/resume path).
         """
         resolved_count = int(count if count is not None else end - start + 1)
-        data, crc = pack_tree_with_crc(
-            self.diff_tree(start, end, resolved_count, payload_to_tree(payload)))
-        return self.save_diff_bytes(start, end, resolved_count, data, crc)
+        tree, codec_id, raw_nbytes = self.encode_record_tree(
+            self.diff_tree(start, end, resolved_count,
+                           payload_to_tree(payload)), "diff")
+        data, crc = pack_tree_with_crc(tree)
+        return self.save_diff_bytes(start, end, resolved_count, data, crc,
+                                    codec=codec_id, raw_nbytes=raw_nbytes)
 
-    def save_diff_bytes(self, start: int, end: int, count: int, data, crc: int
+    def save_diff_bytes(self, start: int, end: int, count: int, data, crc: int,
+                        codec: str = "", raw_nbytes: int = 0
                         ) -> DiffCheckpointRecord:
         """Persist an already-serialized diff covering ``[start, end]``.
 
@@ -320,12 +427,14 @@ class CheckpointStore:
             record = DiffCheckpointRecord(
                 start=int(start), end=int(end), key=key, nbytes=len(data),
                 count=int(count), crc=crc & 0xFFFFFFFF,
+                codec=codec, raw_nbytes=int(raw_nbytes),
             )
             self._diffs = [
                 r for r in self._diffs if (r.start, r.end) != (start, end)
             ] + [record]
             self._diffs.sort(key=lambda r: (r.start, r.end))
             self._commit_manifest()
+        self._count_storage_bytes("diff", len(data), raw_nbytes)
         return record
 
     # Loading -----------------------------------------------------------------
@@ -375,19 +484,43 @@ class CheckpointStore:
                 f"checkpoint {record.key} failed manifest CRC check"
             )
 
+    @staticmethod
+    def _codec_decode(record, tree: dict) -> dict:
+        """Auto-select the decoder for a record's tree.
+
+        The in-blob ``__codec__`` tag wins (self-describing blobs survive
+        manifest rebuilds); the manifest record's ``codec`` field is the
+        fallback.  Uncoded/legacy trees pass through untouched.  An
+        unregistered id raises the typed :class:`UnknownCodecError`; any
+        other decode failure is corruption (the CRC passed, the content
+        did not) and raises :class:`CorruptCheckpointError` so recovery's
+        quarantine-and-fall-back path applies.
+        """
+        codec_id = tree.get(CODEC_TAG) or getattr(record, "codec", "") or ""
+        if not codec_id:
+            return tree
+        codec = get_codec(codec_id, context=f"record {record.key}")
+        try:
+            return codec.decode_tree(tree)
+        except (ValueError, KeyError, TypeError, OverflowError,
+                zlib.error) as err:
+            raise CorruptCheckpointError(
+                f"checkpoint {record.key} failed {codec_id} codec decode: "
+                f"{err}") from err
+
     @classmethod
     def decode_full(cls, record: FullCheckpointRecord, data
                     ) -> tuple[dict, dict, int]:
         """Verify + deserialize raw full-checkpoint bytes (thread-safe)."""
         cls._check_crc(record, data)
-        tree = unpack_tree(data)
+        tree = cls._codec_decode(record, unpack_tree(data))
         return tree["model"], tree["optimizer"], int(tree["step"])
 
     @classmethod
     def decode_diff(cls, record: DiffCheckpointRecord, data):
         """Verify + deserialize raw diff bytes (thread-safe)."""
         cls._check_crc(record, data)
-        tree = unpack_tree(data)
+        tree = cls._codec_decode(record, unpack_tree(data))
         return tree_to_payload(tree["payload"])
 
     def _read_verified(self, record) -> bytes:
@@ -405,23 +538,36 @@ class CheckpointStore:
     def verify(self, deep: bool = True, repair: bool = False) -> dict:
         """Audit every record against storage.
 
-        ``deep=True`` reads each blob and checks CRCs; ``deep=False`` only
-        checks existence.  ``repair=True`` quarantines corrupt blobs and
+        ``deep=True`` reads each blob, checks CRCs and decodes through the
+        record's codec; ``deep=False`` only checks existence (and codec
+        availability).  ``repair=True`` quarantines corrupt blobs and
         drops missing records from the manifest.  Returns a report dict
-        with ``checked``/``missing``/``corrupt`` entries.
+        with ``checked``/``missing``/``corrupt``/``unknown_codec``
+        entries.  A record naming an unregistered codec is *flagged*, not
+        treated as corrupt: the blob is intact, this build just cannot
+        read it — so ``repair`` leaves it in place.
         """
-        report = {"checked": 0, "missing": [], "corrupt": []}
+        report = {"checked": 0, "missing": [], "corrupt": [],
+                  "unknown_codec": []}
         for record in list(self._fulls) + list(self._diffs):
             report["checked"] += 1
             if not self.backend.exists(record.key):
                 report["missing"].append(record.key)
                 continue
+            if record.codec and record.codec not in CODEC_REGISTRY:
+                report["unknown_codec"].append(record.key)
+                continue
             if not deep:
                 continue
             try:
-                unpack_tree(self._read_verified(record))
+                self._codec_decode(record,
+                                   unpack_tree(self._read_verified(record)))
             except FileNotFoundError:
                 report["missing"].append(record.key)
+            except UnknownCodecError:
+                # In-blob tag names a codec the manifest did not (e.g. a
+                # rebuilt manifest predating the codec column): flag it.
+                report["unknown_codec"].append(record.key)
             except (CorruptCheckpointError, KeyError, TypeError):
                 report["corrupt"].append(record.key)
         if repair and (report["missing"] or report["corrupt"]):
@@ -487,7 +633,8 @@ class CheckpointStore:
 
     # Compaction ----------------------------------------------------------------
     def replace_diff_run(self, run: list[DiffCheckpointRecord], data, crc: int,
-                         count: int | None = None) -> DiffCheckpointRecord:
+                         count: int | None = None, codec: str = "",
+                         raw_nbytes: int = 0) -> DiffCheckpointRecord:
         """Atomically swap a contiguous run of diff records for one super-diff.
 
         ``data``/``crc`` are the serialized consolidated record covering
@@ -525,6 +672,7 @@ class CheckpointStore:
             record = DiffCheckpointRecord(
                 start=int(start), end=int(end), key=key, nbytes=len(data),
                 count=resolved_count, crc=crc & 0xFFFFFFFF,
+                codec=codec, raw_nbytes=int(raw_nbytes),
             )
             replaced = {r.key for r in run}
             self._diffs = [r for r in self._diffs

@@ -74,6 +74,11 @@ class RetentionPolicy:
         disables the cost trigger.
     load_full_s / replay_diff_s:
         The cost model's coefficients (measured or from the sim workload).
+    codec_decode_s:
+        Extra per-record decode cost when the store persists encoded
+        payloads (0 for uncoded stores); added to ``replay_diff_s`` in the
+        cost model so a codec-enabled store compacts earlier when decode
+        time eats into the recovery budget.
     compact_run:
         How many adjacent records one merge-mode pass folds into a single
         super-diff (the merge fan-in).
@@ -84,6 +89,7 @@ class RetentionPolicy:
     max_recovery_cost_s: float | None = None
     load_full_s: float = 0.0
     replay_diff_s: float = 0.0
+    codec_decode_s: float = 0.0
     compact_run: int = 8
 
     def __post_init__(self):
@@ -99,17 +105,19 @@ class RetentionPolicy:
     # Cost model ------------------------------------------------------------
     def recovery_cost_s(self, chain_records: int) -> float:
         """Estimated worst-case recovery time for a ``chain_records`` chain."""
-        return self.load_full_s + chain_records * self.replay_diff_s
+        per_record = self.replay_diff_s + self.codec_decode_s
+        return self.load_full_s + chain_records * per_record
 
     def chain_budget(self) -> int | None:
         """Max diff records tolerated after the newest full (``None`` = ∞)."""
         budgets = []
         if self.max_chain_len is not None:
             budgets.append(self.max_chain_len)
-        if self.max_recovery_cost_s is not None and self.replay_diff_s > 0:
+        per_record = self.replay_diff_s + self.codec_decode_s
+        if self.max_recovery_cost_s is not None and per_record > 0:
             budgets.append(max(0, math.floor(
                 (self.max_recovery_cost_s - self.load_full_s)
-                / self.replay_diff_s)))
+                / per_record)))
         return min(budgets) if budgets else None
 
     def chain_records(self, store: CheckpointStore) -> int:
@@ -297,11 +305,16 @@ class ChainCompactor:
     def _serialize_diff(self, start: int, end: int, count: int, payload):
         tree = CheckpointStore.diff_tree(start, end, count,
                                          payload_to_tree(payload))
+        # pre_encoded=True: merged lossy payloads carry already-quantized
+        # values; only the stateless byte stage reruns, so compaction never
+        # adds a second quantization error on top of the original one.
+        tree, codec_id, raw_nbytes = self.store.encode_record_tree(
+            tree, "diff", pre_encoded=True)
         if self.buffers is None:
-            return pack_tree_with_crc(tree), None, None
+            return pack_tree_with_crc(tree), None, None, codec_id, raw_nbytes
         buffer = self.buffers.acquire()
         view, crc = pack_tree_into(tree, buffer)
-        return (view, crc), view, buffer
+        return (view, crc), view, buffer, codec_id, raw_nbytes
 
     def _merge(self) -> CompactionReport:
         """Fold aged runs of ``compact_run`` adjacent records into super-diffs.
@@ -346,10 +359,11 @@ class ChainCompactor:
             except Exception:
                 return False  # unreadable or un-addable payloads: leave run
             count = sum(r.count for r in run)
-            (data, crc), view, buffer = self._serialize_diff(
-                run[0].start, run[-1].end, count, merged)
+            (data, crc), view, buffer, codec_id, raw_nbytes = \
+                self._serialize_diff(run[0].start, run[-1].end, count, merged)
             try:
-                store.replace_diff_run(run, data, crc, count=count)
+                store.replace_diff_run(run, data, crc, count=count,
+                                       codec=codec_id, raw_nbytes=raw_nbytes)
             finally:
                 if view is not None:
                     view.release()

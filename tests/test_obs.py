@@ -341,7 +341,7 @@ class TestFunctionalIntegration:
 
     def test_engine_failure_surfaces_origin(self):
         class FailingStore(CheckpointStore):
-            def save_diff_bytes(self, start, end, count, data, crc):
+            def save_diff_bytes(self, start, end, count, data, crc, **kw):
                 raise IOError("disk on fire")
 
         engine = AsyncCheckpointEngine(
@@ -366,7 +366,7 @@ class TestFunctionalIntegration:
 
     def test_engine_counts_failures_in_registry(self):
         class FailingStore(CheckpointStore):
-            def save_diff_bytes(self, start, end, count, data, crc):
+            def save_diff_bytes(self, start, end, count, data, crc, **kw):
                 raise IOError("nope")
 
         with obs.capture() as active:

@@ -114,14 +114,27 @@ class LowDiffCheckpointer:
         # both full snapshots and the batched writer's diff records; every
         # record still flows through one FIFO commit order, so the
         # diff-never-before-its-full invariant holds unchanged.
-        self.engine: AsyncCheckpointEngine | None = None
+        # persist_mode="process" swaps in the shared-memory multi-process
+        # engine — same submit/drain/finalize contract, but codec and
+        # serializer CPU run in spawned workers outside the training GIL.
+        self.engine = None
         persist_target = store
         if getattr(config, "async_persist", False):
-            self.engine = AsyncCheckpointEngine(
-                store,
-                num_writers=config.writer_threads,
-                queue_depth=config.queue_depth,
-            )
+            if getattr(config, "persist_mode", "thread") == "process":
+                from repro.storage.mp_engine import MultiprocessCheckpointEngine
+                self.engine = MultiprocessCheckpointEngine(
+                    store,
+                    num_workers=config.writer_threads,
+                    queue_depth=config.queue_depth,
+                    ring_bytes=int(getattr(config, "ring_mb", 64.0)
+                                   * (1 << 20)),
+                )
+            else:
+                self.engine = AsyncCheckpointEngine(
+                    store,
+                    num_writers=config.writer_threads,
+                    queue_depth=config.queue_depth,
+                )
             persist_target = self.engine
         self._persist = persist_target
         self.retention = retention

@@ -2,18 +2,32 @@
 
 The in-process :class:`~repro.core.lowdiff.LowDiffCheckpointer` models the
 paper's two-process design with threads; this module runs the
-checkpointing side in an actual child process, as the paper does with
-``torch.multiprocessing`` (``spawn``):
+checkpointing side in actual child processes, as the paper does with
+``torch.multiprocessing`` (``spawn``).
 
-* the training process encodes each synchronized compressed gradient with
-  the pickle-free payload codec and ships the bytes over a
-  ``multiprocessing.Queue`` (the CUDA-IPC handle of the paper becomes a
-  byte buffer here — documented substitution; the FIFO and decoupling
-  properties are identical);
-* the child process owns the :class:`BatchedGradientWriter` and the
-  on-disk store, batching and persisting without ever blocking training;
-* both processes share only the storage directory, exactly like a real
-  deployment — the recovery process can be yet another process.
+Earlier revisions shipped every payload as a pickled blob over a
+``multiprocessing.Queue`` to a single forked child — with two bugs this
+rewrite fixes:
+
+* **fork is unsafe here.**  The parent may be running async-engine writer
+  threads; ``fork`` duplicates held locks and half-initialized state into
+  the child.  The sink now defaults to ``spawn`` (``start_method``
+  configurable, ``fork`` rejected by the engine).
+* **submit-side deadlock.**  If the child died while the bounded work
+  queue was full, ``submit_payload`` blocked forever on ``put``.  The
+  sink now rides the engine's ``is_alive()`` watchdog (a dead worker
+  surfaces as a typed
+  :class:`~repro.storage.mp_engine.WorkerCrashed`) and bounds the
+  backpressure wait (``submit_timeout_s`` → typed
+  :class:`~repro.storage.mp_engine.SubmitTimeout`).
+
+The transport itself is the shared-memory ring of
+:class:`~repro.storage.mp_engine.MultiprocessCheckpointEngine`: payloads
+are packed once into shared memory (the CUDA-IPC handle of the paper
+becomes a shm region here — documented substitution; the FIFO and
+decoupling properties are identical), and the persist workers encode and
+write without a pickle round-trip.  Batching (the paper's BS knob) runs
+on the parent side via :class:`BatchedGradientWriter` over the engine.
 
 Use as a context manager::
 
@@ -27,106 +41,90 @@ Use as a context manager::
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import queue as queue_module
+import warnings
 
+from repro.core.batched_writer import BatchedGradientWriter
 from repro.storage.backends import LocalDiskBackend
 from repro.storage.checkpoint_store import CheckpointStore
-from repro.storage.payload_codec import payload_to_tree, tree_to_payload
-from repro.storage.serializer import pack_tree, unpack_tree
-
-_STOP = b"__stop__"
-
-
-def _checkpoint_worker(storage_dir: str, batch_size: int, work_queue,
-                       error_queue) -> None:
-    """Child-process main loop: drain, batch, persist."""
-    try:
-        from repro.core.batched_writer import BatchedGradientWriter
-
-        store = CheckpointStore(LocalDiskBackend(storage_dir))
-        writer = BatchedGradientWriter(store, batch_size=batch_size)
-        while True:
-            message = work_queue.get()
-            if message == _STOP:
-                writer.flush()
-                return
-            tree = unpack_tree(message)
-            kind = tree["kind"]
-            if kind == "diff":
-                writer.submit(int(tree["step"]),
-                              tree_to_payload(tree["payload"]))
-            elif kind == "full":
-                writer.flush()
-                store.save_full(int(tree["step"]), tree["model"],
-                                tree["optimizer"])
-            else:  # pragma: no cover - defensive
-                raise ValueError(f"unknown message kind {kind!r}")
-    except BaseException as error:  # surfaced to the parent
-        error_queue.put(repr(error))
+from repro.storage.mp_engine import MultiprocessCheckpointEngine
 
 
 class MultiprocessCheckpointSink:
-    """Training-side handle to a checkpointing child process."""
+    """Training-side handle to a persist-worker process pool.
+
+    Parameters
+    ----------
+    storage_dir:
+        Directory both sides share — the only coupling between training
+        and checkpointing processes, exactly like a real deployment.
+    batch_size:
+        Gradients merged per differential record (parent-side batching).
+    queue_capacity:
+        Outstanding-record bound before submission blocks.
+    num_workers:
+        Persist-worker processes.
+    start_method:
+        Multiprocessing start method; ``"spawn"`` by default.  ``"fork"``
+        is rejected — the parent runs collector threads.
+    submit_timeout_s:
+        Bound on any backpressure wait; expiry raises the typed
+        :class:`~repro.storage.mp_engine.SubmitTimeout` instead of
+        hanging on a stuck or dead pool.
+    ring_mb:
+        Shared-memory ring capacity in MiB.
+    """
 
     def __init__(self, storage_dir: str, batch_size: int = 1,
-                 queue_capacity: int = 64):
+                 queue_capacity: int = 64, num_workers: int = 1,
+                 start_method: str = "spawn",
+                 submit_timeout_s: float | None = 60.0,
+                 ring_mb: float = 32.0):
         self.storage_dir = str(storage_dir)
-        self._context = mp.get_context("fork")
-        self._work_queue = self._context.Queue(maxsize=queue_capacity)
-        self._error_queue = self._context.Queue()
-        self._worker = self._context.Process(
-            target=_checkpoint_worker,
-            args=(self.storage_dir, int(batch_size), self._work_queue,
-                  self._error_queue),
-            daemon=True,
+        self.store = CheckpointStore(LocalDiskBackend(self.storage_dir))
+        self.engine = MultiprocessCheckpointEngine(
+            self.store,
+            num_workers=num_workers,
+            queue_depth=queue_capacity,
+            ring_bytes=int(ring_mb * (1 << 20)),
+            start_method=start_method,
+            submit_timeout_s=submit_timeout_s,
         )
-        self._worker.start()
+        self.writer = BatchedGradientWriter(self.engine,
+                                            batch_size=batch_size)
         self._closed = False
         self.submitted = 0
+        #: Exception swallowed by ``__exit__`` while an original error was
+        #: already propagating (never silently dropped — also warned).
+        self.last_close_error: BaseException | None = None
 
     # Training-side API -------------------------------------------------------
     def submit_payload(self, step: int, payload) -> None:
-        """Ship one differential (synchronized compressed gradient)."""
-        self._raise_if_failed()
-        self._work_queue.put(pack_tree({
-            "kind": "diff", "step": int(step),
-            "payload": payload_to_tree(payload),
-        }))
+        """Ship one differential (synchronized compressed gradient).
+
+        The payload tree is packed straight into the shared ring; a dead
+        or stuck worker pool raises typed errors instead of blocking
+        forever.
+        """
+        self.engine.raise_if_failed()
+        self.writer.submit(int(step), payload)
         self.submitted += 1
 
     def save_full(self, step: int, model_state: dict,
                   optimizer_state: dict) -> None:
-        """Ship a full snapshot; the child flushes diffs first (FIFO)."""
-        self._raise_if_failed()
-        self._work_queue.put(pack_tree({
-            "kind": "full", "step": int(step),
-            "model": model_state, "optimizer": optimizer_state,
-        }))
+        """Ship a full snapshot; pending diffs flush first (FIFO order)."""
+        self.engine.raise_if_failed()
+        self.writer.flush()
+        self.engine.save_full(int(step), model_state, optimizer_state)
 
-    def close(self, timeout: float = 30.0) -> None:
-        """Drain, stop and join the child; raises if the child failed."""
+    def close(self, timeout: float = 60.0) -> None:
+        """Flush, drain and stop the pool; raises if any persist failed."""
         if self._closed:
             return
         self._closed = True
-        self._work_queue.put(_STOP)
-        self._worker.join(timeout)
-        if self._worker.is_alive():  # pragma: no cover - defensive
-            self._worker.terminate()
-            raise RuntimeError("checkpointing process failed to stop")
-        self._raise_if_failed(wait=0.5)
-
-    def _raise_if_failed(self, wait: float = 0.0) -> None:
         try:
-            if wait:
-                # After join: give the queue's feeder thread a moment to
-                # deliver an error the child reported just before exiting.
-                error = self._error_queue.get(timeout=wait)
-            else:
-                error = self._error_queue.get_nowait()
-        except queue_module.Empty:
-            return
-        raise RuntimeError(f"checkpointing process failed: {error}")
+            self.writer.flush()
+        finally:
+            self.engine.finalize(timeout=timeout)
 
     # Context manager -----------------------------------------------------------
     def __enter__(self) -> "MultiprocessCheckpointSink":
@@ -135,12 +133,23 @@ class MultiprocessCheckpointSink:
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is None:
             self.close()
-        else:  # do not mask the original error with close() issues
-            try:
-                self.close()
-            except Exception:
-                pass
+            return
+        # An original error is propagating: close() must not mask it, but
+        # a close failure is recorded and warned, never silently dropped.
+        try:
+            self.close()
+        except Exception as close_error:
+            self.last_close_error = close_error
+            warnings.warn(
+                f"MultiprocessCheckpointSink.close() failed while handling "
+                f"{exc_type.__name__}: {close_error!r}",
+                RuntimeWarning, stacklevel=2)
 
     def open_store(self) -> CheckpointStore:
-        """A parent-side view of the child's storage (e.g. for recovery)."""
+        """A fresh parent-side view of the storage (e.g. for recovery)."""
         return CheckpointStore(LocalDiskBackend(self.storage_dir))
+
+    def stats(self) -> dict:
+        out = {"submitted": self.submitted}
+        out.update(self.engine.stats())
+        return out

@@ -249,6 +249,68 @@ def render_bench_history(history: dict, grep: str | None = None) -> str:
     return "\n".join(lines)
 
 
+def render_mp_comparison(history: dict) -> str:
+    """Thread-vs-process persistence comparison from mp-engine artifacts.
+
+    Scans the flattened bench history for artifacts carrying the
+    ``headline.*``/``recovery.*`` keys ``benchmarks/bench_mp_engine.py``
+    emits and renders the thread-engine vs process-engine numbers side by
+    side.  Returns ``""`` when no artifact carries them, so callers can
+    append the section unconditionally.
+    """
+    blocks: list[str] = []
+    for stem, table in history.items():
+        ratio = table.get("headline.stall_ratio_x")
+        process_s = table.get("recovery.process_s")
+        if ratio is None and process_s is None:
+            continue
+        lines = [f"  [{stem}]"]
+        if ratio is not None:
+            workers = table.get("headline.workers", "?")
+            payload = table.get("headline.payload_mb")
+            codec = table.get("headline.codec", "?")
+            detail = f"workers={workers} codec={codec}"
+            if payload is not None:
+                detail += f" payload={_format_cell(payload)}MB"
+            lines.append(f"    persist stall ({detail})")
+            thread_ms = table.get("headline.thread_stall_ms")
+            proc_ms = table.get("headline.process_stall_ms")
+            if thread_ms is not None and proc_ms is not None:
+                lines.append(
+                    f"      thread engine:  {_format_cell(thread_ms)} "
+                    f"ms/iter")
+                lines.append(
+                    f"      process engine: {_format_cell(proc_ms)} "
+                    f"ms/iter")
+            lines.append(
+                f"      speedup:        {_format_cell(ratio)}x")
+        if process_s is not None:
+            threaded_s = table.get("recovery.threaded_s")
+            bit_exact = table.get("recovery.bit_exact")
+            lines.append("    parallel recovery")
+            if threaded_s is not None:
+                lines.append(
+                    f"      threaded:       {_format_cell(threaded_s)} s")
+            lines.append(
+                f"      processes:      {_format_cell(process_s)} s")
+            if bit_exact is not None:
+                lines.append(f"      bit-exact:      {bit_exact}")
+        persist_mb_s = table.get("calibration.persist_mb_s")
+        recover_mb_s = table.get("calibration.recover_mb_s")
+        if persist_mb_s is not None or recover_mb_s is not None:
+            lines.append("    measured calibration")
+            if persist_mb_s is not None:
+                lines.append(f"      persist:        "
+                             f"{_format_cell(persist_mb_s)} MB/s")
+            if recover_mb_s is not None:
+                lines.append(f"      recover:        "
+                             f"{_format_cell(recover_mb_s)} MB/s")
+        blocks.append("\n".join(lines))
+    if not blocks:
+        return ""
+    return "thread-vs-process persistence\n" + "\n".join(blocks)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
@@ -285,6 +347,9 @@ def main(argv=None) -> int:
         history = collect_bench_history(args.bench_dir)
         out["bench_history"] = history
         sections.append(render_bench_history(history, grep=args.grep))
+        comparison = render_mp_comparison(history)
+        if comparison:
+            sections.append(comparison)
     if args.trace is not None:
         summary = summarize_trace(load_json(args.trace))
         out["trace"] = {

@@ -159,10 +159,18 @@ class CheckpointStrategy:
         """Decode CPU time for a ``raw_nbytes`` payload (0 when uncoded)."""
         return self.codec_decode_s_per_gb * raw_nbytes / 1e9
 
-    def _schedule_persist(self, nbytes: float) -> None:
-        # The channel moves encoded bytes; the encode stage is CPU work on
-        # the persist path (writer threads), so it occupies the same
-        # resource window — exactly how the async engine serializes.
+    def _persist_cost(self, nbytes: float):
+        """Price one persisted record: ``(resource, wire_nbytes, time_s)``.
+
+        The channel moves encoded bytes; the encode stage is CPU work on
+        the persist path (writer threads), so it occupies the same
+        resource window — exactly how the async engine serializes.  Split
+        out from :meth:`_schedule_persist` so strategies that model
+        multiple concurrent persist workers can reuse the identical
+        arithmetic (same float operation order — bit-stable) while
+        assigning the time to a virtual worker lane instead of the
+        serialized channel tail.
+        """
         wire_nbytes = nbytes / self.codec_ratio
         resource, duration = self._persist_channel()
         time_s = duration(wire_nbytes) + self._codec_encode_s(nbytes)
@@ -171,6 +179,10 @@ class CheckpointStrategy:
             self.persist_retry_time_s += extra
             time_s += extra
             self.count("persist_faulted")
+        return resource, wire_nbytes, time_s
+
+    def _schedule_persist(self, nbytes: float) -> None:
+        resource, wire_nbytes, time_s = self._persist_cost(nbytes)
         resource.schedule(self.sim.now, time_s, nbytes=wire_nbytes,
                           label="persist", category="ckpt")
 

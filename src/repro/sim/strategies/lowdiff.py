@@ -21,10 +21,14 @@ class LowDiffStrategy(CheckpointStrategy):
     def __init__(self, full_every: int = 20, batch_size: int = 2,
                  diff_every: int = 1, zero_copy: bool = True,
                  backlog_budget_s: float = 2.0, remote_storage: bool = False,
-                 async_engine: bool = False, retention=None):
+                 async_engine: bool = False, retention=None,
+                 persist_workers: int = 1):
         super().__init__()
         if full_every < 1 or batch_size < 1 or diff_every < 1:
             raise ValueError("checkpoint intervals must be >= 1")
+        if persist_workers < 1:
+            raise ValueError(
+                f"persist_workers must be >= 1, got {persist_workers}")
         self.remote_storage = bool(remote_storage)
         self.full_every = int(full_every)
         self.batch_size = int(batch_size)
@@ -39,6 +43,16 @@ class LowDiffStrategy(CheckpointStrategy):
         #: backlog-budget heuristic.  Off by default so the historical
         #: pricing stays bit-stable.
         self.async_engine = bool(async_engine)
+        #: Virtual persist-worker lanes, modelling the multi-process
+        #: engine's worker pool: with ``async_engine`` on and more than
+        #: one lane, each persisted record is assigned to the
+        #: earliest-free lane and the exposed stall is priced against the
+        #: *least-loaded* lane's backlog (the next record starts there),
+        #: so codec/serialize CPU overlaps across workers.  ``1``
+        #: (default) keeps the single serialized channel — bit-identical
+        #: to earlier revisions.
+        self.persist_workers = int(persist_workers)
+        self._worker_free_at: list[float] = [0.0] * self.persist_workers
         #: Optional :class:`repro.storage.compaction.RetentionPolicy`.
         #: When set, every full checkpoint triggers the compactor's
         #: merge pass over the chain that just aged behind it: the merge's
@@ -63,6 +77,40 @@ class LowDiffStrategy(CheckpointStrategy):
     def next_event(self, index: int) -> int | None:
         return min(self._next_multiple_event(index, self.diff_every),
                    self._next_multiple_event(index, self.full_every))
+
+    # Multi-worker persist lanes ------------------------------------------------
+    def _worker_lanes_active(self) -> bool:
+        return self.async_engine and self.persist_workers > 1
+
+    def on_start(self) -> None:
+        self._worker_free_at = [0.0] * self.persist_workers
+
+    def _schedule_persist(self, nbytes: float) -> None:
+        if not self._worker_lanes_active():
+            super()._schedule_persist(nbytes)
+            return
+        resource, wire_nbytes, time_s = self._persist_cost(nbytes)
+        # The shared channel still accounts bytes/utilization; concurrency
+        # lives in the lane assignment below (min-free lane, like the
+        # engine's task queue feeding whichever worker drains first).
+        resource.schedule(self.sim.now, time_s, nbytes=wire_nbytes,
+                          label="persist", category="ckpt")
+        lane = min(range(self.persist_workers),
+                   key=self._worker_free_at.__getitem__)
+        start = max(self.sim.now, self._worker_free_at[lane])
+        self._worker_free_at[lane] = start + time_s
+
+    def _persist_backlog_s(self, resource) -> float:
+        """Queued persist time the *next* record would wait behind.
+
+        Single lane: the serialized channel backlog.  Multiple lanes: the
+        least-loaded lane's backlog — the engine hands the next record to
+        whichever worker frees first, so only that lane's residual work
+        can stall the training loop.
+        """
+        if self._worker_lanes_active():
+            return max(0.0, min(self._worker_free_at) - self.sim.now)
+        return resource.backlog(self.sim.now)
 
     def after_iteration(self, index: int) -> None:
         workload, sim = self.workload, self.sim
@@ -91,14 +139,17 @@ class LowDiffStrategy(CheckpointStrategy):
             if self.async_engine:
                 # Overlap pricing: queued work on a channel hides behind
                 # the compute gap until that channel is next needed; only
-                # the excess stalls training.
-                for resource, cause, gap_iters in (
-                        (sim.pcie, "pcie-overlap", self.diff_every),
-                        (persist_resource, "persist-overlap",
+                # the excess stalls training.  The persist backlog is lane-
+                # aware: with worker processes, only the least-loaded lane
+                # gates the next record.
+                for backlog, cause, gap_iters in (
+                        (sim.pcie.backlog(sim.now), "pcie-overlap",
+                         self.diff_every),
+                        (self._persist_backlog_s(persist_resource),
+                         "persist-overlap",
                          self.batch_size * self.diff_every)):
                     stall = self._overlapped_stall(
-                        resource.backlog(sim.now),
-                        gap_iters * workload.iter_time)
+                        backlog, gap_iters * workload.iter_time)
                     if stall > 0.0:
                         sim.stall(cause, stall)
             else:

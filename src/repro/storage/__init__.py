@@ -13,6 +13,7 @@ from repro.storage.serializer import (
     crc32_combine,
     pack_tree,
     pack_tree_into,
+    pack_tree_into_view,
     pack_tree_with_crc,
     unpack_tree,
     serialized_size,
@@ -24,6 +25,7 @@ from repro.storage.backends import (
     ThrottledBackend,
     FlakyBackend,
     ChaosBackend,
+    backend_from_spec,
 )
 from repro.storage.resilience import (
     CircuitBreaker,
@@ -60,6 +62,12 @@ from repro.storage.async_engine import (
     PendingWrite,
     SnapshotStager,
     WriteAborted,
+)
+from repro.storage.mp_engine import (
+    MultiprocessCheckpointEngine,
+    ShmRing,
+    SubmitTimeout,
+    WorkerCrashed,
 )
 
 __all__ = [
@@ -102,4 +110,10 @@ __all__ = [
     "PendingWrite",
     "SnapshotStager",
     "WriteAborted",
+    "MultiprocessCheckpointEngine",
+    "ShmRing",
+    "SubmitTimeout",
+    "WorkerCrashed",
+    "backend_from_spec",
+    "pack_tree_into_view",
 ]

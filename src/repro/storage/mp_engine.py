@@ -1,0 +1,1077 @@
+"""Multi-process persistence engine over a shared-memory ring buffer.
+
+The paper's two-process design (§VI) decouples checkpointing from
+training with ``torch.multiprocessing``.  :class:`AsyncCheckpointEngine`
+reproduces the *pipeline* with threads, but threads share the GIL: the
+codec's byte-plane transforms, zlib, and CRC sweeps timeshare the
+interpreter with the training loop, so "overlapped" persistence still
+steals hot-path cycles whenever a kernel holds the GIL.
+
+:class:`MultiprocessCheckpointEngine` is the faithful reproduction: N
+*persist workers* are **spawned** processes (never forked — the parent
+runs writer threads and holds locks fork would duplicate mid-flight), fed
+through a ``multiprocessing.shared_memory`` ring:
+
+1. **Submit (training process)** — the record tree is packed *once*
+   straight into a ring region with
+   :func:`~repro.storage.serializer.pack_tree_into_view`; the pack *is*
+   the snapshot copy.  Only a tiny ``(seq, kind, offset, length, meta)``
+   descriptor crosses the queue — no pickle of array data, ever.
+2. **Persist (worker process)** — the worker unpacks the region (copying
+   arrays out), immediately releases the ring region, then runs the codec
+   CPU, re-packs, and writes the blob **atomically** (tmp + rename) under
+   its final key via its own backend handle.
+3. **Commit (parent collector thread)** — completions are reordered
+   through the same in-order turnstile as the thread engine and recorded
+   in the store manifest via ``register_*_blob``.  The blob-before-
+   manifest crash-ordering invariant holds across the process boundary.
+
+Failure semantics mirror the thread engine: sticky fail-stop, bounded
+backpressure, typed :class:`DrainTimeout`.  A persist worker dying
+(SIGKILL, OOM) is detected by an ``is_alive()`` watchdog and surfaces as
+a typed :class:`WorkerCrashed` on the training thread — never a silent
+hang, and never a torn blob (the atomic rename means a killed worker
+leaves only ``.tmp`` debris that ``gc`` sweeps).
+
+Recovery reuses the same spawn machinery: :func:`recover_chain_segments`
+splits a diff chain at power-of-two boundaries, each worker process
+decodes and pairwise-merges its segment, and the parent finishes the
+merge.  Splitting at multiples of ``2**m`` makes the per-segment merge
+trees an exact subdivision of the global balanced pairwise tree, so the
+result is **bit-identical** to the threaded path.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import queue as queue_module
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.obs import OBS, span as obs_span
+from repro.storage.async_engine import (
+    DrainTimeout,
+    PendingWrite,
+    WriteAborted,
+)
+from repro.storage.backends import backend_from_spec
+from repro.storage.checkpoint_store import CheckpointStore
+from repro.storage.payload_codec import (
+    logical_nbytes,
+    make_codec,
+    payload_to_tree,
+    tree_to_payload,
+)
+from repro.storage.serializer import (
+    pack_tree,
+    pack_tree_into,
+    pack_tree_into_view,
+    serialized_size,
+    unpack_tree,
+)
+
+
+class WorkerCrashed(RuntimeError):
+    """A persist-worker process died (killed/OOM) with work outstanding."""
+
+
+class SubmitTimeout(RuntimeError):
+    """A bounded submission wait expired before queue space appeared."""
+
+
+class ShmRing:
+    """Circular region allocator over one shared-memory segment.
+
+    The parent allocates contiguous regions for packed records; workers
+    signal consumption (``freed`` messages) and the tail advances through
+    FIFO-released regions.  Out-of-order frees are buffered — space is
+    reclaimed in allocation order, which matches the engine's in-order
+    commit turnstile anyway.  ``alloc`` blocks (bounded waits) when the
+    ring is full: the ring *is* the engine's memory backpressure.
+    """
+
+    def __init__(self, nbytes: int):
+        from multiprocessing import shared_memory
+        if nbytes < 1:
+            raise ValueError(f"ring size must be >= 1 byte, got {nbytes}")
+        self.shm = shared_memory.SharedMemory(create=True, size=int(nbytes))
+        self.capacity = self.shm.size
+        self._cond = threading.Condition(threading.Lock())
+        self._order: deque[int] = deque()      # live tokens, allocation order
+        self._regions: dict[int, tuple[int, int]] = {}  # token -> (off, len)
+        self._released: set[int] = set()       # freed out of order
+        self._next_token = 0
+        self.stalls = 0
+        self.stall_time_s = 0.0
+        self.allocs = 0
+        self.peak_used = 0
+        self._destroyed = False
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def _used_locked(self) -> int:
+        return sum(length for _, length in self._regions.values())
+
+    def _place_locked(self, nbytes: int) -> int | None:
+        """Offset for a new region, or ``None`` if it does not fit now."""
+        if not self._order:
+            return 0
+        first_off = self._regions[self._order[0]][0]
+        last_off, last_len = self._regions[self._order[-1]]
+        head = last_off + last_len
+        if head > first_off:          # unwrapped: [tail ... head)
+            if self.capacity - head >= nbytes:
+                return head
+            if first_off >= nbytes:   # wrap to the front
+                return 0
+            return None
+        if first_off - head >= nbytes:  # wrapped: free gap is [head, tail)
+            return head
+        return None
+
+    def alloc(self, nbytes: int, abort_check=None) -> tuple[int, int]:
+        """Block until ``nbytes`` contiguous bytes are free; return
+        ``(token, offset)``.  ``abort_check()`` may return an exception to
+        raise instead of waiting forever (engine failure, close)."""
+        if nbytes > self.capacity:
+            raise ValueError(
+                f"record of {nbytes} bytes exceeds ring capacity "
+                f"{self.capacity}; raise ring_mb")
+        nbytes = max(1, int(nbytes))
+        with self._cond:
+            offset = self._place_locked(nbytes)
+            if offset is None:
+                self.stalls += 1
+                started = time.perf_counter()
+                while offset is None:
+                    if abort_check is not None:
+                        error = abort_check()
+                        if error is not None:
+                            raise error
+                    self._cond.wait(timeout=0.25)
+                    offset = self._place_locked(nbytes)
+                waited = time.perf_counter() - started
+                self.stall_time_s += waited
+                if OBS.enabled:
+                    OBS.registry.counter("ckpt.mp.ring_stalls").inc()
+                    OBS.registry.observe("ckpt.mp.ring_stall_wait.s", waited)
+            token = self._next_token
+            self._next_token += 1
+            self._order.append(token)
+            self._regions[token] = (offset, nbytes)
+            self.allocs += 1
+            self.peak_used = max(self.peak_used, self._used_locked())
+            return token, offset
+
+    def view(self, offset: int, nbytes: int) -> memoryview:
+        return self.shm.buf[offset:offset + nbytes]
+
+    def free(self, token: int) -> None:
+        """Release a region; unknown/duplicate tokens are ignored (late
+        ``freed`` messages after a fail-over release)."""
+        with self._cond:
+            if token not in self._regions:
+                return
+            self._released.add(token)
+            while self._order and self._order[0] in self._released:
+                done = self._order.popleft()
+                self._released.discard(done)
+                del self._regions[done]
+            self._cond.notify_all()
+
+    def release_all(self) -> None:
+        """Drop every live region (engine fail-over path)."""
+        with self._cond:
+            self._order.clear()
+            self._regions.clear()
+            self._released.clear()
+            self._cond.notify_all()
+
+    def destroy(self) -> None:
+        """Close and unlink the segment (parent side, once)."""
+        if self._destroyed:
+            return
+        self._destroyed = True
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - exported view still alive
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def stats(self) -> dict:
+        with self._cond:
+            return {
+                "ring_capacity": self.capacity,
+                "ring_used": self._used_locked(),
+                "ring_peak_used": self.peak_used,
+                "ring_allocs": self.allocs,
+                "ring_stalls": self.stalls,
+                "ring_stall_time_s": self.stall_time_s,
+            }
+
+
+def _worker_encode_tree(codec, tree: dict, kind: str, pre_encoded: bool):
+    """Store-less mirror of :meth:`CheckpointStore.encode_record_tree`.
+
+    Lossy pre-encoding is order-dependent, so the *parent* runs it on the
+    submitting thread (``pre_encoded=True`` arrives in the task meta);
+    workers only ever run the stateless byte/entropy stage.
+    """
+    if codec is None:
+        return tree, "", 0
+    raw_nbytes = logical_nbytes(tree)
+    if kind == "diff" and codec.lossy and not pre_encoded:
+        tree = dict(tree)
+        tree["payload"] = codec.pre_encode_diff_tree(tree["payload"])
+    return codec.encode_tree(tree), codec.codec_id, raw_nbytes
+
+
+def _persist_worker(index: int, shm_name: str, backend_spec: tuple,
+                    codec_spec: tuple, task_queue, result_queue,
+                    nice_increment: int) -> None:
+    """Persist-worker main (runs in a spawned child process).
+
+    Protocol (child -> parent on ``result_queue``):
+
+    * ``("ready", index)`` — imports done, codec warmed, priority set;
+    * ``("freed", seq)`` — ring region consumed (arrays copied out);
+    * ``("done", seq, info)`` — blob written atomically under its final
+      key; ``info`` carries nbytes/crc/codec/raw_nbytes/busy_s;
+    * ``("error", seq, message)`` — one task failed (engine fail-stops);
+    * ``("fatal", index, message)`` — the worker itself is broken.
+    """
+    shm = None
+    try:
+        if nice_increment:
+            try:
+                os.nice(nice_increment)
+            except OSError:  # pragma: no cover - priority change refused
+                pass
+        from multiprocessing import shared_memory
+        shm = shared_memory.SharedMemory(name=shm_name)
+        backend = backend_from_spec(backend_spec)
+        codec_id, error_bound = codec_spec
+        codec = make_codec(codec_id, error_bound=error_bound) \
+            if codec_id else None
+        # Warm the codec/serializer code paths so first-task latency is
+        # not an import/JIT stall inside the training loop's window.
+        import numpy as _np
+        warm_tree = {"w": _np.zeros(16, dtype=_np.float32)}
+        if codec is not None:
+            codec.encode_tree(dict(warm_tree))
+        buffer = bytearray()
+        pack_tree_into(warm_tree, buffer)[0].release()
+        result_queue.put(("ready", index))
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            _, seq, kind, offset, length, meta = task
+            started = time.perf_counter()
+            try:
+                region = shm.buf[offset:offset + length]
+                try:
+                    tree = unpack_tree(region, verify=False)
+                finally:
+                    region.release()
+                result_queue.put(("freed", seq))
+                tree, codec_id_used, raw_nbytes = _worker_encode_tree(
+                    codec, tree, kind, bool(meta.get("pre_encoded")))
+                view, crc = pack_tree_into(tree, buffer)
+                try:
+                    if kind == "full":
+                        key = f"full/{meta['step']:010d}.ckpt"
+                    else:
+                        key = f"diff/{meta['start']:010d}_" \
+                              f"{meta['end']:010d}.ckpt"
+                    backend.write(key, view)
+                    nbytes = len(view)
+                finally:
+                    view.release()
+                result_queue.put(("done", seq, {
+                    "nbytes": nbytes,
+                    "crc": crc & 0xFFFFFFFF,
+                    "codec": codec_id_used,
+                    "raw_nbytes": raw_nbytes,
+                    "busy_s": time.perf_counter() - started,
+                    "worker": index,
+                }))
+            except BaseException as err:
+                detail = traceback.format_exc(limit=4)
+                result_queue.put(("error", seq,
+                                  f"{type(err).__name__}: {err}\n{detail}"))
+    except BaseException as err:  # pragma: no cover - worker-level crash
+        try:
+            result_queue.put(("fatal", index, repr(err)))
+        except Exception:
+            pass
+    finally:
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - exported view alive
+                pass
+
+
+@dataclass
+class _MpTask:
+    seq: int
+    kind: str               # "full" | "diff"
+    meta: dict = field(default_factory=dict)
+    pending: PendingWrite | None = None
+
+
+class MultiprocessCheckpointEngine:
+    """Persist-worker process pool in front of a :class:`CheckpointStore`.
+
+    API-compatible with :class:`AsyncCheckpointEngine` — ``save_full`` /
+    ``save_diff`` return :class:`PendingWrite`, commits happen in
+    submission order, backpressure bounds outstanding records, failures
+    are sticky, ``drain``/``finalize``/``abort`` behave identically — but
+    serialization, codec CPU, and backend writes run in spawned worker
+    processes, outside the training interpreter's GIL.
+
+    Parameters
+    ----------
+    store:
+        Destination store.  Its backend must be re-openable from a child
+        process (:meth:`StorageBackend.process_safe_spec`); in-memory and
+        fault-injecting backends are not, and raise ``ValueError`` here —
+        use the thread engine for those.
+    num_workers:
+        Spawned persist-worker processes.
+    queue_depth:
+        Maximum outstanding (uncommitted) records before submission
+        blocks — the backpressure bound.
+    ring_bytes:
+        Shared-memory ring capacity.  Must hold at least one packed
+        record; sizes it bounds form the second (memory) backpressure.
+    start_method:
+        ``"spawn"`` (default, the only fork-safe choice when the parent
+        has threads) or ``"forkserver"``.  ``"fork"`` is rejected.
+    worker_nice:
+        ``os.nice`` increment applied inside each worker so persist CPU
+        yields to the training process on saturated hosts.
+    submit_timeout_s:
+        Optional bound on the backpressure wait; expiry raises the typed
+        :class:`SubmitTimeout` instead of blocking forever (the
+        mp-transport sink's watchdog path).
+    """
+
+    def __init__(self, store: CheckpointStore, num_workers: int = 2,
+                 queue_depth: int = 8, ring_bytes: int = 64 << 20,
+                 start_method: str = "spawn", worker_nice: int = 10,
+                 submit_timeout_s: float | None = None,
+                 ready_timeout_s: float = 120.0):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if start_method == "fork":
+            raise ValueError(
+                "fork start method is unsafe here: the parent runs collector "
+                "threads and holds locks a fork would duplicate mid-flight; "
+                "use spawn (default) or forkserver")
+        backend_spec = store.backend.process_safe_spec()
+        if backend_spec is None:
+            raise ValueError(
+                f"{type(store.backend).__name__} cannot be re-opened from a "
+                "worker process; use AsyncCheckpointEngine for this backend")
+        self.store = store
+        self.num_workers = int(num_workers)
+        self.num_writers = self.num_workers  # thread-engine stats() parity
+        self.queue_depth = int(queue_depth)
+        self.start_method = start_method
+        self.worker_nice = int(worker_nice)
+        self.submit_timeout_s = submit_timeout_s
+        self.ring = ShmRing(int(ring_bytes))
+
+        codec = store.codec
+        codec_spec = ("", None) if codec is None else (
+            codec.codec_id, getattr(codec, "error_bound", None))
+
+        ctx = multiprocessing.get_context(start_method)
+        self._task_queue = ctx.Queue()
+        self._result_queue = ctx.Queue()
+        self._lock = threading.Lock()
+        self._space = threading.Condition(self._lock)
+        self._drained = threading.Condition(self._lock)
+        self._commit_mutex = threading.Lock()
+        self._pending: dict[int, _MpTask] = {}
+        self._tokens: dict[int, int] = {}      # seq -> ring token
+        self._commit_buffer: dict[int, tuple] = {}
+        self._next_seq = 0
+        self._next_commit = 0
+        self._outstanding = 0
+        self._closed = False
+        self._shutdown_started = False
+        self._failure: BaseException | None = None
+        self._failure_seq: int | None = None
+        self._failure_kind: str | None = None
+        # Telemetry ----------------------------------------------------------
+        self.submitted = 0
+        self.committed = 0
+        self.aborted_writes = 0
+        self.backpressure_stalls = 0
+        self.backpressure_time_s = 0.0
+        self.high_watermark = 0
+        self.pack_time_s = 0.0
+        self.commit_time_s = 0.0
+        self.worker_busy_s = 0.0
+
+        self._workers = [
+            ctx.Process(target=_persist_worker,
+                        args=(index, self.ring.name, backend_spec, codec_spec,
+                              self._task_queue, self._result_queue,
+                              self.worker_nice),
+                        name=f"ckpt-persist-{index}", daemon=True)
+            for index in range(self.num_workers)
+        ]
+        try:
+            for worker in self._workers:
+                worker.start()
+            self._await_ready(ready_timeout_s)
+        except BaseException:
+            self._emergency_cleanup()
+            raise
+        self._stop_event = threading.Event()
+        self._collector = threading.Thread(target=self._collect_loop,
+                                           name="ckpt-mp-collector",
+                                           daemon=True)
+        self._collector.start()
+
+    # Startup / teardown helpers -------------------------------------------
+    def _await_ready(self, timeout: float) -> None:
+        """Block until every worker reports ready (imports + warm done).
+
+        Pre-warming keeps the interpreter-boot and numpy-import cost of a
+        spawned child out of the training loop — without it, the first
+        submissions contend with worker start-up for CPU and the process
+        engine *loses* to the thread engine on short windows.
+        """
+        deadline = time.monotonic() + timeout
+        ready: set[int] = set()
+        while len(ready) < self.num_workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"persist workers not ready after {timeout}s "
+                    f"({len(ready)}/{self.num_workers})")
+            try:
+                message = self._result_queue.get(timeout=min(remaining, 0.5))
+            except queue_module.Empty:
+                dead = [i for i, w in enumerate(self._workers)
+                        if not w.is_alive()]
+                if dead:
+                    raise WorkerCrashed(
+                        f"persist worker(s) {dead} died during start-up")
+                continue
+            if message[0] == "ready":
+                ready.add(message[1])
+            elif message[0] == "fatal":
+                raise WorkerCrashed(
+                    f"persist worker {message[1]} failed during start-up: "
+                    f"{message[2]}")
+
+    def _emergency_cleanup(self) -> None:
+        started = [w for w in self._workers if w._popen is not None]
+        for worker in started:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in started:
+            worker.join(timeout=5.0)
+        for q in (self._task_queue, self._result_queue):
+            q.cancel_join_thread()
+            q.close()
+        self.ring.destroy()
+
+    # Submission (training thread) ------------------------------------------
+    def save_full(self, step: int, model_state: dict, optimizer_state: dict,
+                  extra: dict | None = None) -> PendingWrite:
+        """Pack a full snapshot into the shared ring and queue it.
+
+        The pack *is* the snapshot copy — arrays are memcpy'd once into
+        shared memory, so no stager slot and no pickle round-trip.
+        """
+        tree = CheckpointStore.full_tree(step, model_state, optimizer_state,
+                                         extra)
+        return self._submit("full", tree, {"step": int(step)})
+
+    def save_diff(self, start: int, end: int, payload,
+                  count: int | None = None) -> PendingWrite:
+        """Queue a differential record.
+
+        A lossy store codec's stateful quantization runs *here*, on the
+        submitting thread (error feedback is chain-order-dependent;
+        workers complete in nondeterministic order) — exactly like the
+        thread engine.  The heavyweight stateless byte/entropy stage runs
+        in the worker process.
+        """
+        meta = {
+            "start": int(start), "end": int(end),
+            "count": int(count if count is not None else end - start + 1),
+        }
+        payload_tree = payload_to_tree(payload)
+        codec = self.store.codec
+        if codec is not None and codec.lossy:
+            payload_tree = codec.pre_encode_diff_tree(payload_tree)
+            meta["pre_encoded"] = True
+        tree = CheckpointStore.diff_tree(meta["start"], meta["end"],
+                                         meta["count"], payload_tree)
+        return self._submit("diff", tree, meta)
+
+    def _abort_check(self) -> BaseException | None:
+        with self._lock:
+            if self._failure is not None:
+                return RuntimeError(
+                    f"multi-process persistence engine failed: {self._failure}"
+                )
+            if self._shutdown_started:
+                return WriteAborted("engine shut down during ring wait")
+        return None
+
+    def _submit(self, kind: str, tree: dict, meta: dict) -> PendingWrite:
+        with self._lock:
+            self._raise_if_failed_locked()
+            if self._closed:
+                raise RuntimeError("submit on finalized persistence engine")
+            if self._outstanding >= self.queue_depth:
+                self.backpressure_stalls += 1
+                started = time.perf_counter()
+                deadline = None if self.submit_timeout_s is None \
+                    else started + float(self.submit_timeout_s)
+                while self._outstanding >= self.queue_depth \
+                        and self._failure is None and not self._closed:
+                    if deadline is not None \
+                            and time.perf_counter() >= deadline:
+                        self.backpressure_time_s += \
+                            time.perf_counter() - started
+                        raise SubmitTimeout(
+                            f"no queue space after {self.submit_timeout_s}s "
+                            f"({self._outstanding} outstanding, depth "
+                            f"{self.queue_depth}) — workers stuck or dead?")
+                    self._space.wait(timeout=0.25)
+                waited = time.perf_counter() - started
+                self.backpressure_time_s += waited
+                if OBS.enabled:
+                    OBS.registry.counter("ckpt.mp.backpressure_stalls").inc()
+                    OBS.registry.observe("ckpt.mp.backpressure_wait.s",
+                                         waited)
+                self._raise_if_failed_locked()
+                if self._closed:
+                    raise RuntimeError(
+                        "submit on finalized persistence engine")
+            seq = self._next_seq
+            self._next_seq += 1
+            pending = PendingWrite(kind, seq)
+            self._pending[seq] = _MpTask(seq=seq, kind=kind, meta=dict(meta),
+                                         pending=pending)
+            self._outstanding += 1
+            self.submitted += 1
+            self.high_watermark = max(self.high_watermark, self._outstanding)
+            if OBS.enabled:
+                OBS.registry.counter("ckpt.mp.submitted").inc()
+                OBS.registry.set("ckpt.mp.queue_depth", self._outstanding)
+                OBS.tracer.counter("ckpt.mp.queue_depth", self._outstanding)
+        try:
+            nbytes = serialized_size(tree)
+            started = time.perf_counter()
+            with obs_span("mp_pack", "ckpt",
+                          {"seq": seq, "kind": kind, "nbytes": nbytes}):
+                token, offset = self.ring.alloc(nbytes,
+                                                abort_check=self._abort_check)
+                try:
+                    region = self.ring.view(offset, nbytes)
+                    try:
+                        pack_tree_into_view(tree, region)
+                    finally:
+                        region.release()
+                except BaseException:
+                    self.ring.free(token)
+                    raise
+            elapsed = time.perf_counter() - started
+            self.pack_time_s += elapsed
+            if OBS.enabled:
+                OBS.registry.observe("ckpt.mp.pack.s", elapsed)
+            with self._lock:
+                self._tokens[seq] = token
+            self._task_queue.put(("task", seq, kind, offset, nbytes,
+                                  dict(meta)))
+        except BaseException as error:
+            with self._lock:
+                if not pending.done:
+                    pending._resolve(error=error)
+                self.aborted_writes += 1
+                self._commit_buffer[seq] = ("aborted", error)
+            self._process_commits()
+            raise
+        return pending
+
+    # Collector (parent thread) ---------------------------------------------
+    def _collect_loop(self) -> None:
+        while True:
+            try:
+                message = self._result_queue.get(timeout=0.2)
+            except (queue_module.Empty, OSError, EOFError):
+                if self._stop_event.is_set():
+                    return
+                self._check_worker_health()
+                continue
+            tag = message[0]
+            if tag == "freed":
+                token = None
+                with self._lock:
+                    token = self._tokens.pop(message[1], None)
+                if token is not None:
+                    self.ring.free(token)
+            elif tag == "done":
+                with self._lock:
+                    if message[1] >= self._next_commit:
+                        self._commit_buffer[message[1]] = ("done", message[2])
+                self._process_commits()
+            elif tag == "error":
+                with self._lock:
+                    if message[1] >= self._next_commit:
+                        self._commit_buffer[message[1]] = \
+                            ("error", message[2])
+                self._process_commits()
+            elif tag == "fatal":
+                with self._lock:
+                    self._fail_all_locked(WorkerCrashed(
+                        f"persist worker {message[1]} broke: {message[2]}"))
+            if self._stop_event.is_set():
+                with self._lock:
+                    idle = self._outstanding == 0
+                if idle:
+                    return
+
+    def _check_worker_health(self) -> None:
+        """The ``is_alive()`` watchdog: a dead worker with work in flight
+        becomes a typed :class:`WorkerCrashed` instead of a silent hang."""
+        if self._shutdown_started:
+            return
+        dead = [(index, worker.exitcode)
+                for index, worker in enumerate(self._workers)
+                if not worker.is_alive()]
+        if not dead:
+            return
+        with self._lock:
+            if self._failure is not None:
+                return
+            detail = ", ".join(f"worker {i} exitcode {code}"
+                               for i, code in dead)
+            error = WorkerCrashed(
+                f"persist worker process(es) died: {detail}; outstanding "
+                f"records cannot complete")
+            if self._outstanding > 0:
+                self._fail_all_locked(error)
+            else:
+                self._failure = error
+                self._failure_kind = "worker"
+
+    def _fail_all_locked(self, error: BaseException) -> None:
+        """Fail-stop after a worker crash: every unresolved record resolves
+        with the typed error, the ring is released, waiters wake."""
+        if self._failure is None:
+            self._failure = error
+            self._failure_kind = "worker"
+        for task in self._pending.values():
+            if not task.pending.done:
+                task.pending._resolve(error=error)
+        self._pending.clear()
+        self._commit_buffer.clear()
+        self._tokens.clear()
+        self._outstanding = 0
+        self._next_commit = self._next_seq
+        self.ring.release_all()
+        if OBS.enabled:
+            OBS.registry.counter("ckpt.mp.failures").inc()
+            OBS.tracer.instant("mp-worker-crash", "ckpt",
+                               {"error": str(error)})
+        self._space.notify_all()
+        self._drained.notify_all()
+
+    def _register(self, task: _MpTask, info: dict):
+        meta = task.meta
+        if task.kind == "full":
+            return self.store.register_full_blob(
+                meta["step"], info["nbytes"], info["crc"],
+                codec=info["codec"], raw_nbytes=info["raw_nbytes"])
+        return self.store.register_diff_blob(
+            meta["start"], meta["end"], meta["count"], info["nbytes"],
+            info["crc"], codec=info["codec"], raw_nbytes=info["raw_nbytes"])
+
+    def _process_commits(self) -> None:
+        """Advance the in-order commit turnstile as far as possible.
+
+        Single-flight (``_commit_mutex``): called from the collector on
+        every completion and from a submit thread after a local abort.
+        Manifest registration runs outside the engine lock so submissions
+        keep flowing while the manifest write lands.
+        """
+        with self._commit_mutex:
+            while True:
+                with self._lock:
+                    entry = self._commit_buffer.pop(self._next_commit, None)
+                    if entry is None:
+                        return
+                    seq = self._next_commit
+                    task = self._pending.get(seq)
+                record = None
+                error: BaseException | None = None
+                tag = entry[0]
+                if tag == "done" and task is not None:
+                    started = time.perf_counter()
+                    try:
+                        with obs_span("mp_commit", "ckpt",
+                                      {"seq": seq, "kind": task.kind}):
+                            record = self._register(task, entry[1])
+                    except Exception as register_error:
+                        error = register_error
+                    elapsed = time.perf_counter() - started
+                    self.commit_time_s += elapsed
+                    self.worker_busy_s += entry[1].get("busy_s", 0.0)
+                    if OBS.enabled:
+                        OBS.registry.observe("ckpt.mp.commit.s", elapsed)
+                        OBS.registry.observe("ckpt.mp.worker_busy.s",
+                                             entry[1].get("busy_s", 0.0))
+                elif tag == "error":
+                    error = RuntimeError(
+                        f"persist worker failed on seq {seq}: {entry[1]}")
+                elif tag == "aborted":
+                    error = entry[1]
+                with self._lock:
+                    task = self._pending.pop(seq, None)
+                    if task is not None and not task.pending.done:
+                        task.pending._resolve(record=record, error=error)
+                    if error is not None and tag != "aborted" \
+                            and self._failure is None:
+                        self._failure = error
+                        self._failure_seq = seq
+                        self._failure_kind = task.kind if task else None
+                        if OBS.enabled:
+                            OBS.registry.counter("ckpt.mp.failures").inc()
+                            OBS.tracer.instant(
+                                "mp-commit-failed", "ckpt",
+                                {"seq": seq, "error": repr(error)})
+                    if record is not None:
+                        self.committed += 1
+                        if OBS.enabled:
+                            OBS.registry.counter("ckpt.mp.committed").inc()
+                    self._next_commit = seq + 1
+                    self._outstanding -= 1
+                    if OBS.enabled:
+                        OBS.registry.set("ckpt.mp.queue_depth",
+                                         self._outstanding)
+                    self._space.notify_all()
+                    if self._outstanding == 0:
+                        self._drained.notify_all()
+
+    # Lifecycle ---------------------------------------------------------------
+    def _await_drained_locked(self, timeout: float | None,
+                              what: str) -> None:
+        """Wait (bounded) for outstanding == 0.  Unlike the thread engine
+        there is no parent-side queue of unstarted tasks to drop — every
+        submitted record is already in the workers' queue — so expiry
+        raises :class:`DrainTimeout` with ``dropped=0`` and in-flight
+        records may still land later (ignored once resolved)."""
+        if timeout is None:
+            while self._outstanding:
+                self._drained.wait(timeout=0.5)
+            return
+        deadline = time.monotonic() + max(0.0, float(timeout))
+        while self._outstanding:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not self._drained.wait(
+                    timeout=min(remaining, 0.5)):
+                if not self._outstanding:
+                    return
+                if time.monotonic() < deadline:
+                    continue
+                stuck = self._outstanding
+                if OBS.enabled:
+                    OBS.registry.counter("ckpt.mp.drain_timeouts").inc()
+                    OBS.tracer.instant("mp-drain-timeout", "ckpt",
+                                       {"what": what, "outstanding": stuck})
+                raise DrainTimeout(
+                    f"{what} deadline ({timeout}s) expired: {stuck} "
+                    f"record(s) still in flight in the worker pool",
+                    outstanding=stuck, dropped=0,
+                )
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every submitted record has committed."""
+        with self._lock:
+            self._await_drained_locked(timeout, "drain")
+        self.raise_if_failed()
+
+    def finalize(self, timeout: float | None = None) -> None:
+        """Drain, stop the worker pool, release the shared segment.
+
+        On a bounded drain's expiry the pool is torn down *forcibly*
+        (workers terminated, stuck records resolved as aborted, shared
+        memory unlinked) and :class:`DrainTimeout` propagates — a stuck
+        backend never leaks a shared-memory segment.
+        """
+        timeout_error: DrainTimeout | None = None
+        with self._lock:
+            self._closed = True
+            try:
+                self._await_drained_locked(timeout, "finalize")
+            except DrainTimeout as caught:
+                timeout_error = caught
+        self._shutdown(force=timeout_error is not None)
+        if timeout_error is not None:
+            raise timeout_error
+        self.raise_if_failed()
+
+    def abort(self) -> None:
+        """Stop without draining: unresolved writes resolve with
+        :class:`WriteAborted`, workers are terminated, the segment is
+        unlinked.  Errors are not re-raised — the dying-process path."""
+        with self._lock:
+            self._closed = True
+            error = WriteAborted("persistence engine aborted")
+            for task in self._pending.values():
+                if not task.pending.done:
+                    self.aborted_writes += 1
+                    task.pending._resolve(error=error)
+            self._pending.clear()
+            self._commit_buffer.clear()
+            self._tokens.clear()
+            self._outstanding = 0
+            self._next_commit = self._next_seq
+            self.ring.release_all()
+            self._space.notify_all()
+            self._drained.notify_all()
+        self._shutdown(force=True)
+
+    def _shutdown(self, force: bool) -> None:
+        with self._lock:
+            if self._shutdown_started:
+                return
+            self._shutdown_started = True
+        if not force:
+            for _ in self._workers:
+                self._task_queue.put(None)
+            for worker in self._workers:
+                worker.join(timeout=10.0)
+        for worker in self._workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        self._stop_event.set()
+        with self._lock:
+            # Anything still unresolved after a forced stop can never
+            # complete; resolve it so waiters do not hang.
+            if self._pending:
+                error = WriteAborted("engine shut down with work in flight")
+                for task in self._pending.values():
+                    if not task.pending.done:
+                        self.aborted_writes += 1
+                        task.pending._resolve(error=error)
+                self._pending.clear()
+                self._commit_buffer.clear()
+                self._tokens.clear()
+                self._outstanding = 0
+                self._next_commit = self._next_seq
+                self._drained.notify_all()
+                self._space.notify_all()
+        self._collector.join(timeout=10.0)
+        for q in (self._task_queue, self._result_queue):
+            q.cancel_join_thread()
+            q.close()
+        self.ring.destroy()
+
+    def raise_if_failed(self) -> None:
+        """Re-raise an engine failure on the calling (training) thread.
+
+        A dead worker raises the typed :class:`WorkerCrashed`; commit and
+        worker-task failures re-raise as ``RuntimeError`` with the
+        original as ``__cause__`` — same contract as the thread engine.
+        """
+        with self._lock:
+            self._raise_if_failed_locked()
+
+    def _raise_if_failed_locked(self) -> None:
+        if self._failure is None:
+            return
+        if isinstance(self._failure, WorkerCrashed):
+            raise WorkerCrashed(str(self._failure)) from self._failure
+        raise RuntimeError(
+            f"multi-process persistence engine failed: "
+            f"{self._failure_kind} record seq {self._failure_seq} raised "
+            f"{type(self._failure).__name__}: {self._failure}"
+        ) from self._failure
+
+    @property
+    def outstanding(self) -> int:
+        with self._lock:
+            return self._outstanding
+
+    def would_block(self) -> bool:
+        """True if a submission right now would hit backpressure."""
+        with self._lock:
+            return self._outstanding >= self.queue_depth
+
+    def workers_alive(self) -> int:
+        return sum(1 for worker in self._workers if worker.is_alive())
+
+    # Telemetry -----------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            out = {
+                "num_workers": self.num_workers,
+                "queue_depth": self.queue_depth,
+                "submitted": self.submitted,
+                "committed": self.committed,
+                "aborted_writes": self.aborted_writes,
+                "outstanding": self._outstanding,
+                "high_watermark": self.high_watermark,
+                "backpressure_stalls": self.backpressure_stalls,
+                "backpressure_time_s": self.backpressure_time_s,
+                "pack_time_s": self.pack_time_s,
+                "commit_time_s": self.commit_time_s,
+                "worker_busy_s": self.worker_busy_s,
+                "workers_alive": self.workers_alive(),
+                "failure": None if self._failure is None else {
+                    "seq": self._failure_seq,
+                    "kind": self._failure_kind,
+                    "error": repr(self._failure),
+                },
+            }
+        out.update(self.ring.stats())
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Cross-process parallel recovery
+# ---------------------------------------------------------------------------
+
+def _pairwise_merge(level: list):
+    """The balanced pairwise reduction recovery uses, as one function.
+
+    Merging ``[i, i+1]`` pairs per level with the odd leaf carried means
+    the element at level ``k`` position ``j`` covers exactly leaves
+    ``[j*2**k, min((j+1)*2**k, n))`` and depends only on that subrange —
+    which is why segment workers (segments split at multiples of a power
+    of two) produce exactly the global tree's internal nodes, and the
+    parent's continuation of the same loop is bit-identical to merging
+    the whole chain in one process.
+    """
+    while len(level) > 1:
+        merged = [level[index].add(level[index + 1])
+                  for index in range(0, len(level) - 1, 2)]
+        if len(level) % 2:
+            merged.append(level[-1])
+        level = merged
+    return level[0]
+
+
+def _recover_segment_worker(index: int, backend_spec: tuple, records: list,
+                            result_queue) -> None:
+    """Decode + merge one chain segment (runs in a spawned child)."""
+    try:
+        backend = backend_from_spec(backend_spec)
+        payloads = []
+        for record in records:
+            payloads.append(
+                CheckpointStore.decode_diff(record, backend.read(record.key)))
+        merged = _pairwise_merge(payloads)
+        result_queue.put(
+            ("ok", index, pack_tree(payload_to_tree(merged))))
+    except BaseException as err:
+        try:
+            result_queue.put(("err", index, f"{type(err).__name__}: {err}"))
+        except Exception:  # pragma: no cover - queue already gone
+            pass
+
+
+def recover_chain_segments(store: CheckpointStore, records: list,
+                           processes: int, start_method: str = "spawn",
+                           timeout_s: float = 300.0):
+    """Decode and merge a diff chain across worker processes.
+
+    Returns ``(merged_payload, merge_ops, merge_depth)`` or ``None`` when
+    the configuration is ineligible (backend not process-safe, chain too
+    short to amortize a process spawn) or any worker fails — the caller
+    falls back to the threaded path, which also owns quarantine/truncation
+    semantics for corrupt records.
+
+    Segments are split at multiples of a power of two, so each worker's
+    pairwise merge produces exactly the internal nodes of the global
+    balanced merge tree (see :func:`_pairwise_merge`) — the final payload
+    is bit-identical to the threaded path's.
+    """
+    n = len(records)
+    backend_spec = store.backend.process_safe_spec()
+    if backend_spec is None or processes < 2 or n < 4:
+        return None
+    # Smallest power of two >= ceil(n / processes): power-of-two segment
+    # boundaries are what makes the per-segment merges exact subtrees of
+    # the global balanced merge (bit-identical result).
+    per_worker = math.ceil(n / processes)
+    segment = 1 << max(1, math.ceil(math.log2(per_worker)))
+    segments = [records[start:start + segment]
+                for start in range(0, n, segment)]
+    if len(segments) < 2:
+        return None
+
+    ctx = multiprocessing.get_context(start_method)
+    result_queue = ctx.Queue()
+    workers = [
+        ctx.Process(target=_recover_segment_worker,
+                    args=(index, backend_spec, list(chunk), result_queue),
+                    name=f"ckpt-recover-{index}", daemon=True)
+        for index, chunk in enumerate(segments)
+    ]
+    results: dict[int, bytes] = {}
+    try:
+        for worker in workers:
+            worker.start()
+        deadline = time.monotonic() + timeout_s
+        while len(results) < len(segments):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            try:
+                message = result_queue.get(timeout=min(remaining, 0.5))
+            except queue_module.Empty:
+                if all(not w.is_alive() for w in workers) \
+                        and result_queue.empty():
+                    # Workers died without reporting; the threaded
+                    # fallback re-reads with proper quarantine handling.
+                    return None
+                continue
+            if message[0] == "err":
+                return None
+            results[message[1]] = message[2]
+    finally:
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in workers:
+            worker.join(timeout=5.0)
+        result_queue.cancel_join_thread()
+        result_queue.close()
+
+    level = [tree_to_payload(unpack_tree(results[index]))
+             for index in range(len(segments))]
+    merged = _pairwise_merge(level)
+    merge_ops = n - 1
+    merge_depth = math.ceil(math.log2(n)) if n > 1 else 0
+    if OBS.enabled:
+        OBS.registry.counter("recover.mp.segment_runs").inc()
+        OBS.registry.observe("recover.mp.segments", len(segments))
+    return merged, merge_ops, merge_depth

@@ -61,12 +61,65 @@ class TestMultiprocessSink:
         sink.close()
         sink.close()
 
-    def test_child_error_surfaces(self, tmp_path):
+    def test_submit_error_surfaces_at_submit(self, tmp_path):
+        """Out-of-order submission is a parent-side typed error at the
+        submit call — not a deferred child crash discovered at close."""
         sink = MultiprocessCheckpointSink(str(tmp_path))
-        # Out-of-order submission blows up inside the child's writer.
         payload_source = make_mlp_trainer(seed=44)
         record = payload_source.step()
-        sink.submit_payload(5, record.payload)
-        sink.submit_payload(3, record.payload)
-        with pytest.raises(RuntimeError):
+        try:
+            sink.submit_payload(5, record.payload)
+            with pytest.raises(ValueError, match="iteration order"):
+                sink.submit_payload(3, record.payload)
+        finally:
             sink.close()
+
+    def test_dead_worker_pool_raises_instead_of_hanging(self, tmp_path):
+        """The original transport deadlocked on ``put`` when the child
+        died with a full queue; the engine-backed sink must surface a
+        typed failure from the watchdog instead."""
+        import os
+        import signal
+        import time
+
+        sink = MultiprocessCheckpointSink(str(tmp_path),
+                                          submit_timeout_s=10.0)
+        payload_source = make_mlp_trainer(seed=45)
+        record = payload_source.step()
+        try:
+            for worker in sink.engine._workers:
+                os.kill(worker.pid, signal.SIGKILL)
+            with pytest.raises(RuntimeError):
+                # The watchdog needs one health-check cycle to see the
+                # corpse; keep submitting until it trips (bounded).
+                deadline = time.monotonic() + 30.0
+                step = 1
+                while time.monotonic() < deadline:
+                    sink.submit_payload(step, record.payload)
+                    step += 1
+                    time.sleep(0.05)
+        finally:
+            try:
+                sink.close()
+            except RuntimeError:
+                pass  # the latched failure re-raises on close, as designed
+
+    def test_exit_never_silently_swallows_close_failure(self, tmp_path):
+        """``__exit__`` on an error path must record+warn about a close
+        failure, never silently drop it (the original bug): the original
+        exception propagates AND the close failure is visible."""
+        import os
+        import signal
+
+        payload_source = make_mlp_trainer(seed=46)
+        record = payload_source.step()
+        with pytest.warns(RuntimeWarning, match="close"):
+            with pytest.raises(KeyError):
+                with MultiprocessCheckpointSink(str(tmp_path)) as sink:
+                    # Kill the pool, then leave work in flight so close()
+                    # (drain+finalize) must fail on the dead workers.
+                    for worker in sink.engine._workers:
+                        os.kill(worker.pid, signal.SIGKILL)
+                    sink.submit_payload(1, record.payload)
+                    raise KeyError("original training error")
+        assert sink.last_close_error is not None

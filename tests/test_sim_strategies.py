@@ -196,3 +196,85 @@ class TestAsyncEnginePricing:
                          LowDiffStrategy(full_every=100, batch_size=4,
                                          async_engine=True))
         assert large <= small
+
+
+class TestPersistWorkerLanes:
+    """Multi-process persist-worker pricing (persist_workers lanes)."""
+
+    @staticmethod
+    def heavy_codec(strategy):
+        """A codec whose encode CPU dominates — the regime worker
+        processes exist for."""
+        return strategy.set_codec_model(ratio=2.0, encode_s_per_gb=60.0)
+
+    def test_single_lane_matches_legacy(self):
+        """persist_workers=1 must be bit-identical to the pre-lane
+        pricing under every engine flag combination."""
+        for flag in (False, True):
+            legacy = overhead("gpt2_large", self.heavy_codec(
+                LowDiffStrategy(full_every=100, batch_size=2,
+                                async_engine=flag)))
+            laned = overhead("gpt2_large", self.heavy_codec(
+                LowDiffStrategy(full_every=100, batch_size=2,
+                                async_engine=flag, persist_workers=1)))
+            assert legacy == laned
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            LowDiffStrategy(persist_workers=0)
+
+    def test_more_lanes_never_hurt(self):
+        """Exposed stall is priced from the least-loaded lane, so adding
+        lanes is monotone non-increasing in overhead."""
+        results = [overhead("gpt2_large", self.heavy_codec(
+            LowDiffStrategy(full_every=50, batch_size=1,
+                            async_engine=True, persist_workers=w)))
+            for w in (1, 2, 4)]
+        assert results[1] <= results[0]
+        assert results[2] <= results[1]
+
+    def test_lanes_relieve_saturated_channel(self):
+        """When encode CPU saturates a single persist lane, spreading
+        records over 4 lanes must strictly reduce overhead."""
+        one = overhead("gpt2_large", self.heavy_codec(
+            LowDiffStrategy(full_every=50, batch_size=1,
+                            async_engine=True, persist_workers=1)))
+        four = overhead("gpt2_large", self.heavy_codec(
+            LowDiffStrategy(full_every=50, batch_size=1,
+                            async_engine=True, persist_workers=4)))
+        assert one > 0.0  # the single channel is genuinely saturated
+        assert four < one
+
+    def test_lanes_ignored_without_async_engine(self):
+        """Lanes model the engine's worker pool; the legacy backlog-budget
+        pricing is untouched by the knob."""
+        base = overhead("gpt2_large", self.heavy_codec(
+            LowDiffStrategy(full_every=100, batch_size=2)))
+        laned = overhead("gpt2_large", self.heavy_codec(
+            LowDiffStrategy(full_every=100, batch_size=2,
+                            persist_workers=8)))
+        assert base == laned
+
+
+class TestCalibrateFromBench:
+    def test_round_trip_into_sim(self):
+        bench = {"calibration": {"persist_mb_s": 850.0,
+                                 "recover_mb_s": 1200.0}}
+        spec = A100_CLUSTER.calibrate_from_bench(bench)
+        assert spec.name == "a100-calibrated"
+        assert spec.ssd_write_bandwidth == 850.0 * 1e6
+        assert spec.ssd_read_bandwidth == 1200.0 * 1e6
+        workload = Workload.create("gpt2_small", spec, rho=0.01)
+        result = TrainingSim(workload, LowDiffStrategy(
+            full_every=100, batch_size=2, async_engine=True,
+            persist_workers=4)).run(100)
+        assert result.overhead_fraction >= 0.0
+
+    def test_top_level_keys_accepted(self):
+        spec = A100_CLUSTER.calibrate_from_bench({"persist_mb_s": 500.0})
+        assert spec.ssd_write_bandwidth == 500.0 * 1e6
+        assert spec.ssd_read_bandwidth == A100_CLUSTER.ssd_read_bandwidth
+
+    def test_missing_rates_rejected(self):
+        with pytest.raises(ValueError):
+            A100_CLUSTER.calibrate_from_bench({"calibration": {}})

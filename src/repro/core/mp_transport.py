@@ -149,7 +149,20 @@ class MultiprocessCheckpointSink:
         """A fresh parent-side view of the storage (e.g. for recovery)."""
         return CheckpointStore(LocalDiskBackend(self.storage_dir))
 
+    @property
+    def flight_dump(self) -> str | None:
+        """Path of the engine's flight-recorder post-mortem, if it
+        fail-stopped (also embedded in the raised exception message)."""
+        return self.engine.stats().get("flight_dump")
+
     def stats(self) -> dict:
+        """Engine stats plus sink-level submission count.
+
+        When the sink was constructed under an open obs capture, the
+        engine's workers ship ``ckpt.mp.worker.*`` metrics and per-process
+        trace tracks over the telemetry channel; its aggregate counters
+        appear here under ``"telemetry"``.
+        """
         out = {"submitted": self.submitted}
         out.update(self.engine.stats())
         return out

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import reduce
@@ -196,6 +197,7 @@ def serial_recover(store: CheckpointStore, model: Module, optimizer: Optimizer,
     Streams records lazily; the first unreadable diff truncates the chain
     (the state is already bit-exact at the last applied step).
     """
+    recover_t0 = time.perf_counter()
     with obs_span("recover.load_full", "recovery"):
         full_step, fulls_skipped = _load_base(store, model, optimizer)
     loaded = 0
@@ -222,6 +224,10 @@ def serial_recover(store: CheckpointStore, model: Module, optimizer: Optimizer,
     if OBS.enabled:
         OBS.registry.counter("recover.serial.runs").inc()
         OBS.registry.counter("recover.diffs_replayed").inc(loaded)
+        # Restore-path duration histogram: feeds the tail-latency table
+        # (p50/p95/p99) in ``python -m repro.obs.report``.
+        OBS.registry.observe("recover.serial.s",
+                             time.perf_counter() - recover_t0)
     return RecoveryResult(
         step=optimizer.step_count,
         full_step=full_step,
@@ -251,6 +257,7 @@ def _recover_with_processes(store: CheckpointStore, model: Module,
     from repro.storage.mp_engine import recover_chain_segments
     if store.backend.process_safe_spec() is None:
         return None
+    recover_t0 = time.perf_counter()
     with obs_span("recover.load_full", "recovery"):
         full_step, fulls_skipped = _load_base(store, model, optimizer)
     chain = store.diffs_after(full_step)
@@ -276,6 +283,8 @@ def _recover_with_processes(store: CheckpointStore, model: Module,
     if OBS.enabled:
         OBS.registry.counter("recover.parallel_mp.runs").inc()
         OBS.registry.counter("recover.diffs_replayed").inc(len(chain))
+        OBS.registry.observe("recover.parallel_mp.s",
+                             time.perf_counter() - recover_t0)
     return RecoveryResult(
         step=optimizer.step_count,
         full_step=full_step,
@@ -315,6 +324,7 @@ def parallel_recover(store: CheckpointStore, model: Module, optimizer: Optimizer
             return result
     if max_workers is None:
         max_workers = min(8, os.cpu_count() or 2)
+    recover_t0 = time.perf_counter()
     with obs_span("recover.load_full", "recovery"):
         full_step, fulls_skipped = _load_base(store, model, optimizer)
     executor = ThreadPoolExecutor(max_workers=max_workers) \
@@ -371,6 +381,8 @@ def parallel_recover(store: CheckpointStore, model: Module, optimizer: Optimizer
     if OBS.enabled:
         OBS.registry.counter("recover.parallel.runs").inc()
         OBS.registry.counter("recover.diffs_replayed").inc(len(records))
+        OBS.registry.observe("recover.parallel.s",
+                             time.perf_counter() - recover_t0)
     return RecoveryResult(
         step=optimizer.step_count,
         full_step=full_step,

@@ -42,6 +42,7 @@ from repro.distributed.faults import (
     WorkerFaultInjector,
 )
 from repro.obs import OBS
+from repro.obs.flight import FLIGHT
 from repro.storage.async_engine import DrainTimeout
 from repro.storage.resilience import VirtualClock
 from repro.storage.serializer import CorruptCheckpointError
@@ -162,6 +163,9 @@ class SupervisorReport:
     degraded_time_s: float = 0.0
     degraded_steps: int = 0
     wall_time_s: float = 0.0
+    #: Flight-recorder post-mortem paths dumped on worker loss (one per
+    #: degraded-mode entry; written only when observability is enabled).
+    flight_dumps: list = field(default_factory=list)
 
     @property
     def detection_latencies(self) -> list[float]:
@@ -220,6 +224,8 @@ class ClusterSupervisor:
             return
         self.status[rank] = status
         self.transitions.append((self.clock.now, rank, old, status))
+        FLIGHT.record("supervisor", f"transition:{old}->{status}", rank=rank,
+                      at=self.clock.now)
         if OBS.enabled:
             OBS.registry.counter(
                 f"supervisor.transitions.{old}_to_{status}").inc()
@@ -580,6 +586,18 @@ class SupervisedTrainingLoop:
                              len(self.supervisor.lost_ranks()))
             OBS.tracer.instant("degraded-enter", "supervisor",
                                {"ranks": list(ranks)})
+            # Worker loss is a post-mortem moment: dump the flight ring so
+            # the last transitions/recovery attempts before the loss are
+            # on disk even if the run dies later.  Gated on obs so drills
+            # in tests don't litter the tmpdir.
+            try:
+                path = FLIGHT.dump(
+                    reason=f"workers lost, degraded mode: ranks {ranks}")
+            except OSError:  # pragma: no cover - dump dir unwritable
+                path = None
+            if path is not None:
+                report.flight_dumps.append(path)
+                OBS.registry.inc("supervisor.flight.dumps")
 
     def _try_readmit(self, report: SupervisorReport) -> None:
         """Elastically re-admit LOST workers whose machine returned."""

@@ -36,11 +36,13 @@ from __future__ import annotations
 import time
 
 from repro.obs.metrics import (
+    DEFAULT_QUANTILES,
     DEFAULT_TIME_BUCKETS_S,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    quantile_from_snapshot,
 )
 from repro.obs.trace import Tracer
 
@@ -52,6 +54,8 @@ __all__ = [
     "MetricsRegistry",
     "Tracer",
     "DEFAULT_TIME_BUCKETS_S",
+    "DEFAULT_QUANTILES",
+    "quantile_from_snapshot",
     "enabled",
     "enable",
     "disable",
@@ -60,6 +64,18 @@ __all__ = [
     "span",
     "capture",
     "timed",
+    # Cross-process telemetry plane (re-exported below, after OBS exists).
+    "FLIGHT",
+    "FlightRecorder",
+    "TelemetryChannel",
+    "WorkerTelemetry",
+    "WorkerTelemetrySpec",
+    "SloTarget",
+    "SloResult",
+    "SloWatchdog",
+    "DEFAULT_TARGETS",
+    "evaluate_snapshot",
+    "load_slo_config",
 ]
 
 
@@ -182,3 +198,22 @@ class timed:
             OBS.tracer.end()
         target = self._registry if self._registry is not None else OBS.registry
         target.observe(f"{self.name}.s", self.elapsed)
+
+
+# Cross-process telemetry plane.  Imported last: these modules read
+# ``repro.obs.OBS`` lazily inside functions, but keeping the imports
+# below the switchboard definition makes the no-cycle property obvious.
+from repro.obs.flight import FLIGHT, FlightRecorder          # noqa: E402
+from repro.obs.slo import (                                   # noqa: E402
+    DEFAULT_TARGETS,
+    SloResult,
+    SloTarget,
+    SloWatchdog,
+    evaluate_snapshot,
+    load_slo_config,
+)
+from repro.obs.telemetry import (                             # noqa: E402
+    TelemetryChannel,
+    WorkerTelemetry,
+    WorkerTelemetrySpec,
+)

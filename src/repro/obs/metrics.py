@@ -22,6 +22,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_TIME_BUCKETS_S",
+    "DEFAULT_QUANTILES",
+    "quantile_from_snapshot",
 ]
 
 #: Default histogram bucket upper bounds for durations in seconds —
@@ -31,6 +33,45 @@ DEFAULT_TIME_BUCKETS_S = (
     1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
     1e-1, 3e-1, 1.0, 3.0, 10.0, 30.0, 100.0,
 )
+
+#: The tail percentiles the report CLI and SLO watchdog care about.
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _interpolated_quantile(q: float, bounds, counts, overflow: int,
+                           total: int, lo, hi):
+    """Linear-interpolation quantile over fixed-bucket counts.
+
+    The estimate walks the cumulative distribution to the bucket holding
+    rank ``q * total`` and interpolates linearly inside it (Prometheus-
+    style), clamped to the observed ``[min, max]`` so small samples do
+    not report values outside what was ever seen.  Overflow-bucket hits
+    report the observed max — the bucket has no finite upper bound.
+    """
+    if total <= 0:
+        return None
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    rank = q * total
+    cumulative = 0
+    for index, bound in enumerate(bounds):
+        count = counts[index]
+        if count and cumulative + count >= rank:
+            lower = bounds[index - 1] if index else (lo if lo is not None
+                                                     else 0.0)
+            lower = min(lower, bound)
+            fraction = (rank - cumulative) / count
+            value = lower + fraction * (bound - lower)
+            if lo is not None:
+                value = max(value, lo)
+            if hi is not None:
+                value = min(value, hi)
+            return value
+        cumulative += count
+    # Rank landed in the overflow bucket (or float slack at q == 1.0).
+    if overflow or hi is not None:
+        return hi
+    return bounds[-1]
 
 
 class Counter:
@@ -164,6 +205,54 @@ class Histogram:
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
+    def quantile(self, q: float):
+        """Interpolated quantile estimate (``None`` on an empty histogram).
+
+        Exact to within one bucket span: the true percentile lies in the
+        same bucket, and linear interpolation inside it is exact for
+        uniformly spread samples (unit-tested against exact percentiles
+        of known sample sets in ``tests/test_telemetry.py``).
+        """
+        with self._lock:
+            return _interpolated_quantile(
+                q, self.buckets, self._counts, self._overflow,
+                self._count, self._min, self._max)
+
+    def quantiles(self, qs=DEFAULT_QUANTILES) -> dict:
+        """``{q: estimate}`` for several quantiles under one lock hold."""
+        with self._lock:
+            return {
+                q: _interpolated_quantile(
+                    q, self.buckets, self._counts, self._overflow,
+                    self._count, self._min, self._max)
+                for q in qs
+            }
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold another histogram's snapshot (same bounds) into this one.
+
+        The cross-process aggregator uses this to roll worker-shipped
+        histogram deltas into the parent registry; bucket bounds must
+        match (they derive from the same metric name on both sides).
+        """
+        buckets = snap.get("buckets", {})
+        with self._lock:
+            for index, bound in enumerate(self.buckets):
+                self._counts[index] += int(buckets.get(repr(bound), 0))
+            self._overflow += int(buckets.get("inf", 0))
+            self._sum += float(snap.get("sum", 0.0))
+            self._count += int(snap.get("count", 0))
+            for key, pick in (("min", min), ("max", max)):
+                other = snap.get(key)
+                if other is None:
+                    continue
+                mine = self._min if key == "min" else self._max
+                merged = other if mine is None else pick(mine, other)
+                if key == "min":
+                    self._min = merged
+                else:
+                    self._max = merged
+
     def _reset(self) -> None:
         with self._lock:
             self._counts = [0] * len(self.buckets)
@@ -185,6 +274,22 @@ class Histogram:
                 "max": self._max,
                 "buckets": buckets,
             }
+
+
+def quantile_from_snapshot(snap: dict, q: float):
+    """Interpolated quantile from a histogram *snapshot* dict.
+
+    The report CLI and the SLO watchdog work off JSON snapshots (possibly
+    from another process or a file on disk), not live ``Histogram``
+    objects; this reconstructs the bucket layout from the snapshot's
+    ``buckets`` keys and runs the same estimator.
+    """
+    buckets = snap.get("buckets", {})
+    bounds = sorted(float(key) for key in buckets if key != "inf")
+    counts = [int(buckets.get(repr(bound), 0)) for bound in bounds]
+    return _interpolated_quantile(
+        q, bounds, counts, int(buckets.get("inf", 0)),
+        int(snap.get("count", 0)), snap.get("min"), snap.get("max"))
 
 
 class MetricsRegistry:
@@ -291,3 +396,49 @@ class MetricsRegistry:
                        if name.startswith(prefix)]
         for metric in metrics:
             metric._reset()
+
+    # Cross-process aggregation ---------------------------------------------
+    def kinds(self, prefix: str = "") -> dict:
+        """``{name: kind}`` — shipped alongside deltas so the receiving
+        registry merges each metric with the right semantics."""
+        with self._lock:
+            return {name: metric.kind for name, metric in self._metrics.items()
+                    if name.startswith(prefix)}
+
+    def merge_delta(self, delta: dict, kinds: dict,
+                    prefix: str = "") -> int:
+        """Fold a shipped snapshot delta into this registry.
+
+        Counters add, gauges take the shipped value, histograms merge
+        bucket-wise.  ``prefix`` re-namespaces every metric (the per-
+        process copies of worker telemetry).  A name already registered
+        here under a different kind is skipped and counted — one worker's
+        bug must not poison the parent registry.  Returns the number of
+        metrics merged.
+        """
+        merged = 0
+        for name, value in delta.items():
+            kind = kinds.get(name)
+            target = f"{prefix}{name}"
+            try:
+                if kind == "histogram" and isinstance(value, dict):
+                    if not value.get("count"):
+                        continue
+                    bounds = sorted(
+                        float(key) for key in value.get("buckets", {})
+                        if key != "inf")
+                    hist = self.histogram(
+                        target, buckets=tuple(bounds) or DEFAULT_TIME_BUCKETS_S)
+                    hist.merge_snapshot(value)
+                elif kind == "gauge":
+                    self.set(target, value)
+                elif kind == "counter":
+                    if value:
+                        self.inc(target, int(value))
+                else:
+                    continue
+            except TypeError:
+                self.inc("obs.telemetry.merge_conflicts")
+                continue
+            merged += 1
+        return merged

@@ -12,6 +12,16 @@ Gemini-style metric of Exps. 9-10).
 ``BENCH_*.json`` artifacts the benchmark suite emits into one
 side-by-side trajectory table, so a regression in any headline number is
 visible across PRs without opening each file.
+
+Three more modes ride the same CLI:
+
+* ``--metrics snap.json`` renders the snapshot, now including a
+  tail-latency table (p50/p95/p99 interpolated from histogram buckets)
+  for the persist and restore paths;
+* ``--slo targets.json --metrics snap.json`` evaluates declarative SLO
+  targets against the snapshot and **exits 1 on any breach** — the CI
+  gate (pass ``--slo default`` for the built-in targets);
+* ``--flight dump.json`` renders a flight-recorder post-mortem.
 """
 
 from __future__ import annotations
@@ -21,6 +31,8 @@ import glob
 import json
 import os
 import sys
+
+from repro.obs.metrics import DEFAULT_QUANTILES, quantile_from_snapshot
 
 #: Event categories counted as checkpointing overhead when computing the
 #: effective-time ratio (time on the training track the job would not
@@ -162,6 +174,114 @@ def render_metrics(snapshot: dict) -> str:
         for scope, (raw, enc, ratio) in ratios.items():
             lines.append(f"    {scope:<10} raw={raw:.0f} B  "
                          f"encoded={enc:.0f} B  ratio={ratio:.3f}x")
+    tail = render_tail_latency(snapshot)
+    if tail:
+        lines.append(tail)
+    return "\n".join(lines)
+
+
+#: Histograms whose names start with these prefixes (optionally behind a
+#: ``proc.<worker>.`` namespace) are the persist/restore paths the
+#: tail-latency table covers.
+TAIL_LATENCY_PREFIXES = ("ckpt.", "recover.", "restore.", "storage.")
+
+
+def _strip_proc_prefix(name: str) -> str:
+    if name.startswith("proc.") and name.count(".") >= 2:
+        return name.split(".", 2)[2]
+    return name
+
+
+def tail_latency_rows(snapshot: dict) -> list[dict]:
+    """Interpolated p50/p95/p99 for persist/restore-path histograms."""
+    rows = []
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        if not isinstance(value, dict) or not value.get("count"):
+            continue
+        if not _strip_proc_prefix(name).startswith(TAIL_LATENCY_PREFIXES):
+            continue
+        count = value["count"]
+        row = {
+            "metric": name,
+            "count": count,
+            "mean": value.get("sum", 0.0) / count,
+            "max": value.get("max"),
+        }
+        for q in DEFAULT_QUANTILES:
+            row[f"p{int(q * 100)}"] = quantile_from_snapshot(value, q)
+        rows.append(row)
+    return rows
+
+
+def render_tail_latency(snapshot: dict) -> str:
+    """Tail-latency table; ``""`` when no path histograms are present."""
+    rows = tail_latency_rows(snapshot)
+    if not rows:
+        return ""
+    lines = ["  [tail latency (interpolated from histogram buckets)]"]
+    lines.append(f"    {'metric':<44} {'count':>7} {'mean':>10} "
+                 f"{'p50':>10} {'p95':>10} {'p99':>10} {'max':>10}")
+    for row in rows:
+        cells = []
+        for key in ("mean", "p50", "p95", "p99", "max"):
+            value = row.get(key)
+            cells.append("-" if value is None else f"{value:.4g}")
+        lines.append(f"    {row['metric']:<44} {row['count']:>7} "
+                     f"{cells[0]:>10} {cells[1]:>10} {cells[2]:>10} "
+                     f"{cells[3]:>10} {cells[4]:>10}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# SLO scorecard and flight-recorder rendering
+# ---------------------------------------------------------------------------
+
+def render_slo(results) -> str:
+    """Scorecard for :func:`repro.obs.slo.evaluate_snapshot` results."""
+    lines = ["slo scorecard"]
+    lines.append(f"  {'target':<26} {'aggregate':<10} {'observed':>12} "
+                 f"{'threshold':>12} {'obj':<4} {'status':<8}")
+    breaches = 0
+    for result in results:
+        target = result.target
+        observed = "-" if result.observed is None \
+            else f"{result.observed:.6g}"
+        limit = "<=" if target.objective == "max" else ">="
+        lines.append(f"  {target.name:<26} {target.aggregate:<10} "
+                     f"{observed:>12} {target.threshold:>12.6g} "
+                     f"{limit:<4} {result.status:<8}")
+        if result.breached:
+            breaches += 1
+            lines.append(f"      metric: {target.metric}  "
+                         f"matched: {', '.join(result.matched) or '-'}")
+            if target.description:
+                lines.append(f"      {target.description}")
+    lines.append(f"  {breaches} breach(es) across {len(results)} target(s)")
+    return "\n".join(lines)
+
+
+def render_flight(dump: dict) -> str:
+    """Human view of a flight-recorder post-mortem dump."""
+    lines = [f"flight recorder post-mortem (pid {dump.get('pid', '?')})"]
+    if dump.get("reason"):
+        lines.append(f"  reason: {dump['reason']}")
+    lines.append(f"  recorded {dump.get('recorded', '?')} entries, "
+                 f"ring capacity {dump.get('capacity', '?')}")
+
+    def render_entries(entries, indent="  "):
+        for entry in entries:
+            data = entry.get("data", {})
+            detail = " ".join(f"{k}={v}" for k, v in data.items())
+            lines.append(f"{indent}{entry.get('t', 0.0):.6f} "
+                         f"[{entry.get('kind', '?'):<10}] "
+                         f"{entry.get('name', '?')}"
+                         f"{('  ' + detail) if detail else ''}")
+
+    render_entries(dump.get("entries", []))
+    for label in sorted(dump.get("workers", {})):
+        lines.append(f"  shadow ring: {label}")
+        render_entries(dump["workers"][label], indent="    ")
     return "\n".join(lines)
 
 
@@ -335,11 +455,19 @@ def main(argv=None) -> int:
     parser.add_argument("--grep", default=None,
                         help="with --bench-history: only show metric rows "
                              "containing this substring")
+    parser.add_argument("--slo", default=None, metavar="CONFIG",
+                        help="evaluate SLO targets (JSON config path, or "
+                             "'default' for the built-ins) against "
+                             "--metrics; exit 1 on any breach")
+    parser.add_argument("--flight", default=None, metavar="DUMP",
+                        help="render a flight-recorder post-mortem dump")
     args = parser.parse_args(argv)
     if args.trace is None and args.metrics is None \
-            and not args.bench_history:
-        parser.error("provide a trace file, --metrics, and/or "
+            and not args.bench_history and args.flight is None:
+        parser.error("provide a trace file, --metrics, --flight, and/or "
                      "--bench-history")
+    if args.slo is not None and args.metrics is None:
+        parser.error("--slo needs --metrics to evaluate against")
 
     out: dict = {}
     sections: list[str] = []
@@ -363,16 +491,40 @@ def main(argv=None) -> int:
             },
         }
         sections.append(render_trace(summary, top=args.top))
+    breached = False
     if args.metrics is not None:
         snapshot = load_json(args.metrics)
         out["metrics"] = snapshot
+        out["tail_latency"] = tail_latency_rows(snapshot)
         sections.append(render_metrics(snapshot))
+        if args.slo is not None:
+            from repro.obs.slo import (DEFAULT_TARGETS, evaluate_snapshot,
+                                       load_slo_config)
+            targets = DEFAULT_TARGETS if args.slo == "default" \
+                else load_slo_config(args.slo)
+            results = evaluate_snapshot(targets, snapshot)
+            breached = any(result.breached for result in results)
+            out["slo"] = [{
+                "target": result.target.name,
+                "metric": result.target.metric,
+                "aggregate": result.target.aggregate,
+                "objective": result.target.objective,
+                "threshold": result.target.threshold,
+                "observed": result.observed,
+                "status": result.status,
+                "matched": list(result.matched),
+            } for result in results]
+            sections.append(render_slo(results))
+    if args.flight is not None:
+        dump = load_json(args.flight)
+        out["flight"] = dump
+        sections.append(render_flight(dump))
 
     if args.json:
         print(json.dumps(out, indent=2, sort_keys=True))
     else:
         print("\n\n".join(sections))
-    return 0
+    return 1 if breached else 0
 
 
 if __name__ == "__main__":

@@ -58,6 +58,11 @@ class Resource:
             self.tracer.complete_at(
                 label, start, duration, track=f"sim.{self.name}",
                 category=category, args={"nbytes": nbytes} if nbytes else None)
+            # Virtual durations feed the same histogram machinery as real
+            # ones, so the tail-latency table and SLO targets work against
+            # sim snapshots too — deterministically (virtual clock only).
+            if OBS.enabled:
+                OBS.registry.observe(f"sim.{self.name}.{label}.s", duration)
         return start, end
 
     def backlog(self, now: float) -> float:

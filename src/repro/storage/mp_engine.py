@@ -54,6 +54,8 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.obs import OBS, span as obs_span
+from repro.obs.flight import FLIGHT
+from repro.obs.telemetry import TelemetryChannel, WorkerTelemetry
 from repro.storage.async_engine import (
     DrainTimeout,
     PendingWrite,
@@ -238,7 +240,7 @@ def _worker_encode_tree(codec, tree: dict, kind: str, pre_encoded: bool):
 
 def _persist_worker(index: int, shm_name: str, backend_spec: tuple,
                     codec_spec: tuple, task_queue, result_queue,
-                    nice_increment: int) -> None:
+                    nice_increment: int, telemetry_spec=None) -> None:
     """Persist-worker main (runs in a spawned child process).
 
     Protocol (child -> parent on ``result_queue``):
@@ -249,6 +251,12 @@ def _persist_worker(index: int, shm_name: str, backend_spec: tuple,
       key; ``info`` carries nbytes/crc/codec/raw_nbytes/busy_s;
     * ``("error", seq, message)`` — one task failed (engine fail-stops);
     * ``("fatal", index, message)`` — the worker itself is broken.
+
+    ``telemetry_spec`` (present only when the parent captured with obs
+    enabled) activates ``OBS`` inside this process: encode/pack/write
+    spans and ``ckpt.mp.worker.*`` metrics ship home over the telemetry
+    channel after every task.  Without a spec, ``OBS`` stays disabled and
+    the only addition over the bare loop is the flight-recorder ring.
     """
     shm = None
     try:
@@ -257,6 +265,8 @@ def _persist_worker(index: int, shm_name: str, backend_spec: tuple,
                 os.nice(nice_increment)
             except OSError:  # pragma: no cover - priority change refused
                 pass
+        telemetry = WorkerTelemetry.activate(telemetry_spec)
+        obs_on = telemetry.enabled
         from multiprocessing import shared_memory
         shm = shared_memory.SharedMemory(name=shm_name)
         backend = backend_from_spec(backend_spec)
@@ -271,13 +281,17 @@ def _persist_worker(index: int, shm_name: str, backend_spec: tuple,
             codec.encode_tree(dict(warm_tree))
         buffer = bytearray()
         pack_tree_into(warm_tree, buffer)[0].release()
+        FLIGHT.record("worker", "ready", index=index)
         result_queue.put(("ready", index))
+        telemetry.flush()
         while True:
             task = task_queue.get()
             if task is None:
                 break
             _, seq, kind, offset, length, meta = task
             started = time.perf_counter()
+            FLIGHT.record("task", "start", seq=seq, record_kind=kind,
+                          nbytes=length)
             try:
                 region = shm.buf[offset:offset + length]
                 try:
@@ -285,31 +299,55 @@ def _persist_worker(index: int, shm_name: str, backend_spec: tuple,
                 finally:
                     region.release()
                 result_queue.put(("freed", seq))
-                tree, codec_id_used, raw_nbytes = _worker_encode_tree(
-                    codec, tree, kind, bool(meta.get("pre_encoded")))
-                view, crc = pack_tree_into(tree, buffer)
+                stage_t0 = time.perf_counter() if obs_on else 0.0
+                with obs_span("worker_encode", "ckpt",
+                              {"seq": seq, "kind": kind}):
+                    tree, codec_id_used, raw_nbytes = _worker_encode_tree(
+                        codec, tree, kind, bool(meta.get("pre_encoded")))
+                stage_t1 = time.perf_counter() if obs_on else 0.0
+                with obs_span("worker_pack", "ckpt", {"seq": seq}):
+                    view, crc = pack_tree_into(tree, buffer)
+                stage_t2 = time.perf_counter() if obs_on else 0.0
                 try:
                     if kind == "full":
                         key = f"full/{meta['step']:010d}.ckpt"
                     else:
                         key = f"diff/{meta['start']:010d}_" \
                               f"{meta['end']:010d}.ckpt"
-                    backend.write(key, view)
+                    with obs_span("worker_write", "ckpt",
+                                  {"seq": seq, "key": key}):
+                        backend.write(key, view)
                     nbytes = len(view)
                 finally:
                     view.release()
+                busy_s = time.perf_counter() - started
+                if obs_on:
+                    registry = OBS.registry
+                    registry.observe("ckpt.mp.worker.encode.s",
+                                     stage_t1 - stage_t0)
+                    registry.observe("ckpt.mp.worker.pack.s",
+                                     stage_t2 - stage_t1)
+                    registry.observe("ckpt.mp.worker.write.s",
+                                     time.perf_counter() - stage_t2)
+                    registry.observe("ckpt.mp.worker.busy.s", busy_s)
+                    registry.inc("ckpt.mp.worker.tasks")
+                    registry.inc("ckpt.mp.worker.bytes", nbytes)
+                FLIGHT.record("task", "done", seq=seq, key=key,
+                              nbytes=nbytes)
                 result_queue.put(("done", seq, {
                     "nbytes": nbytes,
                     "crc": crc & 0xFFFFFFFF,
                     "codec": codec_id_used,
                     "raw_nbytes": raw_nbytes,
-                    "busy_s": time.perf_counter() - started,
+                    "busy_s": busy_s,
                     "worker": index,
                 }))
             except BaseException as err:
                 detail = traceback.format_exc(limit=4)
+                FLIGHT.record("task", "error", seq=seq, error=repr(err))
                 result_queue.put(("error", seq,
                                   f"{type(err).__name__}: {err}\n{detail}"))
+            telemetry.flush()
     except BaseException as err:  # pragma: no cover - worker-level crash
         try:
             result_queue.put(("fatal", index, repr(err)))
@@ -329,6 +367,7 @@ class _MpTask:
     kind: str               # "full" | "diff"
     meta: dict = field(default_factory=dict)
     pending: PendingWrite | None = None
+    submitted_at: float = 0.0   # parent perf_counter at submission
 
 
 class MultiprocessCheckpointEngine:
@@ -366,13 +405,20 @@ class MultiprocessCheckpointEngine:
         Optional bound on the backpressure wait; expiry raises the typed
         :class:`SubmitTimeout` instead of blocking forever (the
         mp-transport sink's watchdog path).
+    telemetry:
+        ``None`` (default) creates the cross-process telemetry channel
+        exactly when observability is enabled at construction.  ``True``
+        / ``False`` force it on or off — ``False`` lets the overhead
+        benchmark run a channel-less engine under an open capture to
+        isolate the channel's own cost.
     """
 
     def __init__(self, store: CheckpointStore, num_workers: int = 2,
                  queue_depth: int = 8, ring_bytes: int = 64 << 20,
                  start_method: str = "spawn", worker_nice: int = 10,
                  submit_timeout_s: float | None = None,
-                 ready_timeout_s: float = 120.0):
+                 ready_timeout_s: float = 120.0,
+                 telemetry: bool | None = None):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         if queue_depth < 1:
@@ -401,6 +447,15 @@ class MultiprocessCheckpointEngine:
             codec.codec_id, getattr(codec, "error_bound", None))
 
         ctx = multiprocessing.get_context(start_method)
+        # The telemetry channel exists only when the capture is already
+        # open at construction: workers spawned without a spec keep OBS
+        # disabled for their whole life (the zero-cost contract).  The
+        # explicit ``telemetry`` knob overrides the auto-detect — e.g. the
+        # overhead benchmark runs a channel-off engine under an open
+        # capture to isolate the channel's own cost.
+        if telemetry is None:
+            telemetry = OBS.enabled
+        self.telemetry = TelemetryChannel(ctx=ctx) if telemetry else None
         self._task_queue = ctx.Queue()
         self._result_queue = ctx.Queue()
         self._lock = threading.Lock()
@@ -428,12 +483,19 @@ class MultiprocessCheckpointEngine:
         self.pack_time_s = 0.0
         self.commit_time_s = 0.0
         self.worker_busy_s = 0.0
+        self._failure_dump: str | None = None
 
+        # Logical pids: parent is Chrome-trace pid 0, persist workers are
+        # 1..N — stable across runs (unlike OS pids), which keeps merged
+        # traces and per-process metric names deterministic.
         self._workers = [
             ctx.Process(target=_persist_worker,
                         args=(index, self.ring.name, backend_spec, codec_spec,
                               self._task_queue, self._result_queue,
-                              self.worker_nice),
+                              self.worker_nice,
+                              self.telemetry.worker_spec(
+                                  f"persist-worker-{index}", index + 1)
+                              if self.telemetry is not None else None),
                         name=f"ckpt-persist-{index}", daemon=True)
             for index in range(self.num_workers)
         ]
@@ -493,6 +555,8 @@ class MultiprocessCheckpointEngine:
         for q in (self._task_queue, self._result_queue):
             q.cancel_join_thread()
             q.close()
+        if self.telemetry is not None:
+            self.telemetry.close()
         self.ring.destroy()
 
     # Submission (training thread) ------------------------------------------
@@ -575,14 +639,18 @@ class MultiprocessCheckpointEngine:
             self._next_seq += 1
             pending = PendingWrite(kind, seq)
             self._pending[seq] = _MpTask(seq=seq, kind=kind, meta=dict(meta),
-                                         pending=pending)
+                                         pending=pending,
+                                         submitted_at=time.perf_counter())
             self._outstanding += 1
             self.submitted += 1
             self.high_watermark = max(self.high_watermark, self._outstanding)
             if OBS.enabled:
                 OBS.registry.counter("ckpt.mp.submitted").inc()
                 OBS.registry.set("ckpt.mp.queue_depth", self._outstanding)
+                OBS.registry.set("ckpt.mp.queue_high_watermark",
+                                 self.high_watermark)
                 OBS.tracer.counter("ckpt.mp.queue_depth", self._outstanding)
+        FLIGHT.record("ckpt", "submit", seq=seq, record_kind=kind)
         try:
             nbytes = serialized_size(tree)
             started = time.perf_counter()
@@ -623,10 +691,14 @@ class MultiprocessCheckpointEngine:
             try:
                 message = self._result_queue.get(timeout=0.2)
             except (queue_module.Empty, OSError, EOFError):
+                if self.telemetry is not None:
+                    self.telemetry.drain()
                 if self._stop_event.is_set():
                     return
                 self._check_worker_health()
                 continue
+            if self.telemetry is not None:
+                self.telemetry.drain()
             tag = message[0]
             if tag == "freed":
                 token = None
@@ -678,6 +750,28 @@ class MultiprocessCheckpointEngine:
             else:
                 self._failure = error
                 self._failure_kind = "worker"
+                self._dump_flight_locked(error)
+
+    def _dump_flight_locked(self, error: BaseException) -> None:
+        """Write the flight-recorder post-mortem for a latched failure.
+
+        One dump per engine failure (the latch is sticky, so so is the
+        dump).  The parent's ring plus every worker's shadow ring go to
+        JSON; the path is appended to the fail-stop exception so the
+        operator can find the victim's last recorded actions — including
+        a SIGKILLed worker's, which could never dump its own.
+        """
+        if self._failure_dump is not None:
+            return
+        FLIGHT.record("ckpt", "fail-stop", error=repr(error))
+        try:
+            self._failure_dump = FLIGHT.dump(
+                reason=f"mp-engine fail-stop: {error}",
+                extra={"outstanding": self._outstanding,
+                       "submitted": self.submitted,
+                       "committed": self.committed})
+        except OSError:  # pragma: no cover - dump dir unwritable
+            self._failure_dump = None
 
     def _fail_all_locked(self, error: BaseException) -> None:
         """Fail-stop after a worker crash: every unresolved record resolves
@@ -685,6 +779,7 @@ class MultiprocessCheckpointEngine:
         if self._failure is None:
             self._failure = error
             self._failure_kind = "worker"
+        self._dump_flight_locked(error)
         for task in self._pending.values():
             if not task.pending.done:
                 task.pending._resolve(error=error)
@@ -743,8 +838,14 @@ class MultiprocessCheckpointEngine:
                     self.worker_busy_s += entry[1].get("busy_s", 0.0)
                     if OBS.enabled:
                         OBS.registry.observe("ckpt.mp.commit.s", elapsed)
-                        OBS.registry.observe("ckpt.mp.worker_busy.s",
-                                             entry[1].get("busy_s", 0.0))
+                        # Submit-to-commit turnaround as the parent sees
+                        # it (includes queueing).  True worker busy time
+                        # is worker-measured: ``ckpt.mp.worker.busy.s``
+                        # arrives via the telemetry channel.
+                        if task.submitted_at:
+                            OBS.registry.observe(
+                                "ckpt.mp.turnaround.s",
+                                time.perf_counter() - task.submitted_at)
                 elif tag == "error":
                     error = RuntimeError(
                         f"persist worker failed on seq {seq}: {entry[1]}")
@@ -759,6 +860,7 @@ class MultiprocessCheckpointEngine:
                         self._failure = error
                         self._failure_seq = seq
                         self._failure_kind = task.kind if task else None
+                        self._dump_flight_locked(error)
                         if OBS.enabled:
                             OBS.registry.counter("ckpt.mp.failures").inc()
                             OBS.tracer.instant(
@@ -889,6 +991,11 @@ class MultiprocessCheckpointEngine:
                 self._drained.notify_all()
                 self._space.notify_all()
         self._collector.join(timeout=10.0)
+        if self.telemetry is not None:
+            # Final drain: ship whatever the workers flushed between the
+            # collector's last tick and their exit, then drop the queue.
+            self.telemetry.drain()
+            self.telemetry.close()
         for q in (self._task_queue, self._result_queue):
             q.cancel_join_thread()
             q.close()
@@ -907,12 +1014,15 @@ class MultiprocessCheckpointEngine:
     def _raise_if_failed_locked(self) -> None:
         if self._failure is None:
             return
+        post_mortem = "" if self._failure_dump is None \
+            else f" [flight recorder post-mortem: {self._failure_dump}]"
         if isinstance(self._failure, WorkerCrashed):
-            raise WorkerCrashed(str(self._failure)) from self._failure
+            raise WorkerCrashed(
+                f"{self._failure}{post_mortem}") from self._failure
         raise RuntimeError(
             f"multi-process persistence engine failed: "
             f"{self._failure_kind} record seq {self._failure_seq} raised "
-            f"{type(self._failure).__name__}: {self._failure}"
+            f"{type(self._failure).__name__}: {self._failure}{post_mortem}"
         ) from self._failure
 
     @property
@@ -945,6 +1055,7 @@ class MultiprocessCheckpointEngine:
                 "commit_time_s": self.commit_time_s,
                 "worker_busy_s": self.worker_busy_s,
                 "workers_alive": self.workers_alive(),
+                "flight_dump": self._failure_dump,
                 "failure": None if self._failure is None else {
                     "seq": self._failure_seq,
                     "kind": self._failure_kind,
@@ -952,6 +1063,8 @@ class MultiprocessCheckpointEngine:
                 },
             }
         out.update(self.ring.stats())
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry.stats()
         return out
 
 
@@ -980,18 +1093,33 @@ def _pairwise_merge(level: list):
 
 
 def _recover_segment_worker(index: int, backend_spec: tuple, records: list,
-                            result_queue) -> None:
+                            result_queue, telemetry_spec=None) -> None:
     """Decode + merge one chain segment (runs in a spawned child)."""
+    telemetry = WorkerTelemetry.activate(telemetry_spec)
     try:
         backend = backend_from_spec(backend_spec)
-        payloads = []
-        for record in records:
-            payloads.append(
-                CheckpointStore.decode_diff(record, backend.read(record.key)))
-        merged = _pairwise_merge(payloads)
+        started = time.perf_counter()
+        FLIGHT.record("recover", "segment-start", index=index,
+                      records=len(records))
+        with obs_span("worker_recover_segment", "recover",
+                      {"segment": index, "records": len(records)}):
+            payloads = []
+            for record in records:
+                payloads.append(CheckpointStore.decode_diff(
+                    record, backend.read(record.key)))
+            merged = _pairwise_merge(payloads)
+        if telemetry.enabled:
+            OBS.registry.observe("recover.worker.segment.s",
+                                 time.perf_counter() - started)
+            OBS.registry.inc("recover.worker.records", len(records))
+        FLIGHT.record("recover", "segment-done", index=index)
         result_queue.put(
             ("ok", index, pack_tree(payload_to_tree(merged))))
+        telemetry.flush()
     except BaseException as err:
+        FLIGHT.record("recover", "segment-error", index=index,
+                      error=repr(err))
+        telemetry.flush()
         try:
             result_queue.put(("err", index, f"{type(err).__name__}: {err}"))
         except Exception:  # pragma: no cover - queue already gone
@@ -1030,9 +1158,15 @@ def recover_chain_segments(store: CheckpointStore, records: list,
 
     ctx = multiprocessing.get_context(start_method)
     result_queue = ctx.Queue()
+    # Recovery workers get logical trace pids 101+ so their tracks never
+    # collide with the persist workers' (1..N) in a merged trace.
+    telemetry = TelemetryChannel(ctx=ctx) if OBS.enabled else None
     workers = [
         ctx.Process(target=_recover_segment_worker,
-                    args=(index, backend_spec, list(chunk), result_queue),
+                    args=(index, backend_spec, list(chunk), result_queue,
+                          telemetry.worker_spec(f"recover-worker-{index}",
+                                                101 + index)
+                          if telemetry is not None else None),
                     name=f"ckpt-recover-{index}", daemon=True)
         for index, chunk in enumerate(segments)
     ]
@@ -1054,6 +1188,9 @@ def recover_chain_segments(store: CheckpointStore, records: list,
                     # fallback re-reads with proper quarantine handling.
                     return None
                 continue
+            finally:
+                if telemetry is not None:
+                    telemetry.drain()
             if message[0] == "err":
                 return None
             results[message[1]] = message[2]
@@ -1063,6 +1200,9 @@ def recover_chain_segments(store: CheckpointStore, records: list,
                 worker.terminate()
         for worker in workers:
             worker.join(timeout=5.0)
+        if telemetry is not None:
+            telemetry.drain()
+            telemetry.close()
         result_queue.cancel_join_thread()
         result_queue.close()
 

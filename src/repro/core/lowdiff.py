@@ -101,6 +101,18 @@ class LowDiffCheckpointer:
                  zero_copy: bool = True, offload_to_cpu: bool = True,
                  async_mode: bool = False, queue_maxsize: int = 0,
                  retention=None, model_factory=None, optimizer_factory=None):
+        # shards > 1 swaps the store for the sharded facade over the same
+        # backend: per-shard diff chains under one intersection-committed
+        # manifest set, elastic restore across world sizes.  An
+        # already-sharded store passes through (its shard count wins).
+        shards = int(getattr(config, "shards", 1))
+        if shards > 1 and isinstance(store, CheckpointStore):
+            from repro.storage.sharded import ShardedCheckpointStore
+            store = ShardedCheckpointStore(
+                store.backend, shards=shards,
+                codec=store.codec,
+                shard_concurrency=getattr(config, "shard_concurrency", 4),
+            )
         self.store = store
         self.config = config
         # Config-selected payload codec: applied store-wide before the
@@ -119,8 +131,22 @@ class LowDiffCheckpointer:
         # serializer CPU run in spawned workers outside the training GIL.
         self.engine = None
         persist_target = store
+        from repro.storage.sharded import (
+            ShardedChainCompactor,
+            ShardedCheckpointStore,
+            ShardedPersistGroup,
+        )
+        sharded = isinstance(store, ShardedCheckpointStore)
         if getattr(config, "async_persist", False):
-            if getattr(config, "persist_mode", "thread") == "process":
+            if sharded:
+                self.engine = ShardedPersistGroup(
+                    store,
+                    persist_mode=getattr(config, "persist_mode", "thread"),
+                    writer_threads=config.writer_threads,
+                    queue_depth=config.queue_depth,
+                    ring_mb=getattr(config, "ring_mb", 64.0),
+                )
+            elif getattr(config, "persist_mode", "thread") == "process":
                 from repro.storage.mp_engine import MultiprocessCheckpointEngine
                 self.engine = MultiprocessCheckpointEngine(
                     store,
@@ -140,12 +166,16 @@ class LowDiffCheckpointer:
         self.retention = retention
         self.compactor = None
         if retention is not None:
-            from repro.storage.compaction import ChainCompactor
-            self.compactor = ChainCompactor(
-                store, retention, engine=self.engine,
-                model_factory=model_factory,
-                optimizer_factory=optimizer_factory,
-            )
+            if sharded:
+                self.compactor = ShardedChainCompactor(
+                    store, retention, engine=self.engine)
+            else:
+                from repro.storage.compaction import ChainCompactor
+                self.compactor = ChainCompactor(
+                    store, retention, engine=self.engine,
+                    model_factory=model_factory,
+                    optimizer_factory=optimizer_factory,
+                )
         self.writer = BatchedGradientWriter(
             persist_target, batch_size=config.batch_size,
             offload_to_cpu=offload_to_cpu
@@ -320,6 +350,15 @@ class LowDiffCheckpointer:
     # Recovery ----------------------------------------------------------------------
     def recover(self, model, optimizer, parallel: bool = False) -> RecoveryResult:
         """Restore ``model``/``optimizer`` from the persisted series."""
+        from repro.storage.sharded import (
+            ShardedCheckpointStore,
+            sharded_parallel_recover,
+            sharded_serial_recover,
+        )
+        if isinstance(self.store, ShardedCheckpointStore):
+            if parallel:
+                return sharded_parallel_recover(self.store, model, optimizer)
+            return sharded_serial_recover(self.store, model, optimizer)
         if parallel:
             return parallel_recover(self.store, model, optimizer)
         return serial_recover(self.store, model, optimizer)

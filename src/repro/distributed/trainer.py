@@ -255,11 +255,7 @@ class DataParallelTrainer:
         if obs_on:
             tracer.end()
             tracer.begin("step", "train")
-        if self.dedup_updates and len(active) > 1:
-            self._apply_update_deduped(update_grads)
-        else:
-            for rank in active:
-                self.workers[rank].apply_update(update_grads)
+        self._apply_synced_update(active, update_grads)
         if obs_on:
             tracer.end()
             tracer.begin("update_hooks", "train")
@@ -282,6 +278,22 @@ class DataParallelTrainer:
             payload=synced,
             comm_bytes=comm_bytes,
         )
+
+    def _apply_synced_update(self, active: list[int],
+                             update_grads: dict[str, np.ndarray]) -> None:
+        """Apply the synchronized update to every active replica.
+
+        The single overridable seam of the update phase: subclasses that
+        change *how* the update lands (ZeRO's owned-shard step + parameter
+        broadcast) override this and inherit the rest of :meth:`step` —
+        collective gates, degraded-world membership, hooks, tracing —
+        instead of duplicating the step tail.
+        """
+        if self.dedup_updates and len(active) > 1:
+            self._apply_update_deduped(update_grads)
+        else:
+            for rank in active:
+                self.workers[rank].apply_update(update_grads)
 
     def _decompress_synced(self, synced: CompressedGradient) -> dict[str, np.ndarray]:
         """Densify the synchronized payload into reusable scratch buffers.

@@ -12,6 +12,17 @@ execution model so LowDiff can be exercised in its native habitat:
 * ``optimizer_state()`` *assembles* the sharded moments into the standard
   full state dict, so checkpointing and recovery code is identical to the
   unsharded path (a full checkpoint is still ``3 Psi``).
+
+The trainer reuses the parent :meth:`DataParallelTrainer.step` wholesale
+and overrides only the update seam (``_apply_synced_update``), so the
+collective gates (fault injection), degraded-world ``active_ranks``
+handling and obs tracing all apply to ZeRO steps too.  Ownership is
+derived over the *active* ranks and re-partitioned on every
+deactivate/reactivate: a dropped owner's shard migrates to a survivor
+(its optimizer slots are copied from the dead rank's still-resident
+worker — the peer-memory shard handoff), and owned updates run through
+``step_with(names=...)`` — the fused allocation-free kernels, not the
+per-parameter reference loop.
 """
 
 from __future__ import annotations
@@ -48,88 +59,100 @@ class ZeroDataParallelTrainer(DataParallelTrainer):
                          num_workers=num_workers,
                          compressor_builder=compressor_builder,
                          comm_stats=comm_stats)
-        # Ownership map over the canonical parameter names.
-        self._owners = {
-            name: shard_owner(name, num_workers)
-            for name in self.optimizer.param_names
-        }
+        # Ownership map over the canonical parameter names, derived over
+        # the active ranks (all of them at construction).  At full world
+        # this reduces to the historical shard_owner(name, num_workers).
+        self._owners: dict[str, int] = {}
+        self._owned_by: dict[int, list[str]] = {}
+        self._repartition_owners()
 
     def owned_names(self, rank: int) -> list[str]:
         return [name for name, owner in self._owners.items() if owner == rank]
 
-    # Update phase ------------------------------------------------------------
-    def step(self):
-        record = None
-        # Reuse the parent step's machinery by overriding the per-worker
-        # update via a shim: simplest correct approach is to run the parent
-        # logic but intercept apply.  We instead duplicate the narrow tail:
-        iteration = self.iteration
-        bytes_before = self.comm_stats.total_bytes
-        for capture in self._layer_capture:
-            capture.clear()
-        local_grads = [worker.local_gradients(iteration) for worker in self.workers]
-        self._fire_layer_hooks(iteration)
-        from repro.compression.base import DenseGradient
-        from repro.distributed.collectives import allreduce_mean, sparse_allreduce
-        if self.compressors is not None:
-            payloads = [c.compress(g) for c, g in zip(self.compressors, local_grads)]
-            if hasattr(payloads[0], "entries"):
-                synced = sparse_allreduce(payloads, average=True,
-                                          stats=self.comm_stats)
-            else:
-                synced = self._dense_mean_payload(payloads)
-            update_grads = synced.decompress()
-        else:
-            mean = allreduce_mean(local_grads, stats=self.comm_stats)
-            synced = DenseGradient(mean)
-            update_grads = mean
-        for hook in self._synced_hooks:
-            hook(iteration, synced)
+    # Ownership over the active world --------------------------------------
+    def _repartition_owners(self) -> None:
+        """(Re)derive parameter ownership over the current active ranks.
 
-        # ZeRO-1: every rank steps only the parameters it owns...
-        for rank, worker in enumerate(self.workers):
-            owned = set(self.owned_names(rank))
-            worker.optimizer.step_count += 1  # before updates: bias correction
-            for name, param in worker.optimizer._named.items():
-                if name in owned:
-                    worker.optimizer._update_param(name, param, update_grads[name])
-        # ...then the refreshed parameters are broadcast from their owner
-        # to every other rank (the ZeRO allgather).
+        On a membership change, a parameter whose owner changed has its
+        optimizer slots copied from the previous owner's worker — the
+        only replica whose moments for that shard are current.  A
+        deactivated rank's worker object stays resident, so its shard
+        state is still available for this handoff (the in-memory
+        peer-recovery tier); a reactivated rank inherits fresh slots the
+        same way from whichever survivor covered its shard meanwhile.
+        """
+        active = sorted(self.active_ranks)
+        new_owners = {
+            name: active[shard_owner(name, len(active))]
+            for name in self.workers[active[0]].optimizer.param_names
+        }
+        if self._owners:
+            for name, owner in new_owners.items():
+                previous = self._owners.get(name, owner)
+                if previous == owner:
+                    continue
+                source = self.workers[previous].optimizer._slots(name)
+                target = self.workers[owner].optimizer._slots(name)
+                for key, value in source.items():
+                    np.copyto(target[key], value)
+        self._owners = new_owners
+        self._owned_by = {rank: [] for rank in active}
+        for name, owner in new_owners.items():
+            self._owned_by[owner].append(name)
+
+    def deactivate_worker(self, rank: int) -> None:
+        super().deactivate_worker(rank)
+        self._repartition_owners()
+
+    def reactivate_worker(self, rank: int, sync_from: int | None = None) -> None:
+        super().reactivate_worker(rank, sync_from=sync_from)
+        self._repartition_owners()
+
+    # Update phase ------------------------------------------------------------
+    def _apply_synced_update(self, active: list[int],
+                             update_grads: dict[str, np.ndarray]) -> None:
+        """ZeRO-1 update: every rank steps only the parameters it owns,
+        then refreshed parameters broadcast from owner to the other
+        *active* ranks (the ZeRO allgather).
+
+        Owned updates go through ``step_with(names=...)`` — the fused
+        allocation-free kernels, bit-identical to the reference
+        per-parameter loop — and the step counter advances exactly once
+        per rank, keeping bias correction aligned across shards.
+        """
+        for rank in active:
+            self.workers[rank].optimizer.step_with(
+                update_grads, names=self._owned_by[rank])
         broadcast_bytes = 0
+        param_maps = {
+            rank: dict(self.workers[rank].model.named_parameters())
+            for rank in active
+        }
         for name, owner in self._owners.items():
-            source = dict(self.workers[owner].model.named_parameters())[name]
-            for rank, worker in enumerate(self.workers):
+            source = param_maps[owner][name]
+            for rank in active:
                 if rank == owner:
                     continue
-                target = dict(worker.model.named_parameters())[name]
-                np.copyto(target.data, source.data)
-            broadcast_bytes += source.nbytes * (self.num_workers - 1)
+                np.copyto(param_maps[rank][name].data, source.data)
+            broadcast_bytes += source.nbytes * (len(active) - 1)
         self.comm_stats.record("zero_param_allgather", broadcast_bytes)
-
-        for hook in self._update_hooks:
-            hook(iteration)
-        self.iteration += 1
-        from repro.distributed.trainer import IterationRecord
-        loss = float(np.mean([w.last_loss for w in self.workers]))
-        return IterationRecord(
-            iteration=iteration, loss=loss, payload=synced,
-            comm_bytes=self.comm_stats.total_bytes - bytes_before,
-        )
 
     # Checkpoint-facing state -------------------------------------------------
     def optimizer_state(self) -> dict:
         """Assemble the sharded moments into one full optimizer state."""
-        assembled = self.workers[0].optimizer.state_dict()
-        for rank, worker in enumerate(self.workers):
-            shard_state = worker.optimizer.state_dict()
-            for name in self.owned_names(rank):
-                assembled["slots"][name] = shard_state["slots"][name]
+        assembled = self.workers[self.active_ranks[0]].optimizer.state_dict()
+        for name, owner in self._owners.items():
+            assembled["slots"][name] = {
+                key: value.copy()
+                for key, value in self.workers[owner].optimizer._slots(name).items()
+            }
         return assembled
 
     def load_state(self, model_state: dict, optimizer_state: dict,
                    iteration: int) -> None:
         """Restore replicas; every rank loads the full assembled state (its
-        non-owned slots are simply never read again)."""
+        non-owned slots are refreshed too, so a later re-partition can
+        hand any shard to any rank without a stale-moment hazard)."""
         super().load_state(model_state, optimizer_state, iteration)
 
     def shard_state_bytes(self, rank: int) -> int:

@@ -91,21 +91,45 @@ class Optimizer:
             grads[name] = param.grad
         self.step_with(grads)
 
-    def step_with(self, named_grads: dict[str, np.ndarray]) -> None:
+    def step_with(self, named_grads: dict[str, np.ndarray],
+                  names: Iterable[str] | None = None) -> None:
         """Apply one update from externally supplied gradients.
 
         This is the entry point recovery uses: decompressed differential
         gradients keyed by parameter name.
+
+        ``names`` restricts the update to a subset of parameters (ZeRO-1
+        optimizer-state sharding: each rank steps only the shard it owns).
+        ``named_grads`` may then carry gradients for the full parameter
+        space; only the named subset is validated and updated.  The step
+        counter still advances exactly once — every rank's bias
+        correction stays aligned with the global step — and the subset
+        path runs the same fused allocation-free kernels as the full one.
+        ``names=None`` (default) keeps the historical full-space
+        behaviour bit-identically.
         """
-        unknown = set(named_grads) - set(self._named)
-        if unknown:
-            raise KeyError(f"gradients for unknown parameters: {sorted(unknown)}")
-        missing = set(self._named) - set(named_grads)
-        if missing:
-            raise KeyError(f"missing gradients for: {sorted(missing)}")
+        if names is None:
+            unknown = set(named_grads) - set(self._named)
+            if unknown:
+                raise KeyError(
+                    f"gradients for unknown parameters: {sorted(unknown)}")
+            missing = set(self._named) - set(named_grads)
+            if missing:
+                raise KeyError(f"missing gradients for: {sorted(missing)}")
+            targets = list(self._named.items())
+        else:
+            names = list(names)
+            unknown = set(names) - set(self._named)
+            if unknown:
+                raise KeyError(
+                    f"update requested for unknown parameters: {sorted(unknown)}")
+            missing = set(names) - set(named_grads)
+            if missing:
+                raise KeyError(f"missing gradients for: {sorted(missing)}")
+            targets = [(name, self._named[name]) for name in names]
         self.step_count += 1
         fused = self.fused and self._fused_ok
-        for name, param in self._named.items():
+        for name, param in targets:
             grad = np.asarray(named_grads[name], dtype=np.float64)
             if grad.shape != param.data.shape:
                 raise ValueError(

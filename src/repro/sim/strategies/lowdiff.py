@@ -22,13 +22,19 @@ class LowDiffStrategy(CheckpointStrategy):
                  diff_every: int = 1, zero_copy: bool = True,
                  backlog_budget_s: float = 2.0, remote_storage: bool = False,
                  async_engine: bool = False, retention=None,
-                 persist_workers: int = 1):
+                 persist_workers: int = 1, shards: int = 1,
+                 shard_concurrency: int = 4):
         super().__init__()
         if full_every < 1 or batch_size < 1 or diff_every < 1:
             raise ValueError("checkpoint intervals must be >= 1")
         if persist_workers < 1:
             raise ValueError(
                 f"persist_workers must be >= 1, got {persist_workers}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if shard_concurrency < 1:
+            raise ValueError(
+                f"shard_concurrency must be >= 1, got {shard_concurrency}")
         self.remote_storage = bool(remote_storage)
         self.full_every = int(full_every)
         self.batch_size = int(batch_size)
@@ -53,6 +59,14 @@ class LowDiffStrategy(CheckpointStrategy):
         #: to earlier revisions.
         self.persist_workers = int(persist_workers)
         self._worker_free_at: list[float] = [0.0] * self.persist_workers
+        #: Sharded persistence (``ShardedCheckpointStore``): each record
+        #: splits into ``shards`` per-shard records written over up to
+        #: ``shard_concurrency`` concurrent IO lanes, so a record's
+        #: *elapsed* channel time shrinks to the wave count times the
+        #: per-shard cost while total bytes stay constant.  ``1``
+        #: (default) keeps the unsharded pricing bit-identically.
+        self.shards = int(shards)
+        self.shard_concurrency = int(shard_concurrency)
         #: Optional :class:`repro.storage.compaction.RetentionPolicy`.
         #: When set, every full checkpoint triggers the compactor's
         #: merge pass over the chain that just aged behind it: the merge's
@@ -71,8 +85,40 @@ class LowDiffStrategy(CheckpointStrategy):
 
     @classmethod
     def from_config(cls, config: CheckpointConfig, **kwargs) -> "LowDiffStrategy":
+        kwargs.setdefault("shards", getattr(config, "shards", 1))
+        kwargs.setdefault("shard_concurrency",
+                          getattr(config, "shard_concurrency", 4))
         return cls(full_every=config.full_every_iters,
                    batch_size=config.batch_size, **kwargs)
+
+    # Sharded persist pricing ---------------------------------------------------
+    def _persist_cost(self, nbytes: float):
+        """Price one persisted record, shard-aware.
+
+        With ``shards > 1`` the record is ``S`` per-shard records of
+        ``nbytes/S`` each, issued over ``min(shard_concurrency, S)``
+        concurrent lanes: elapsed time is ``ceil(S/lanes)`` waves of the
+        per-shard cost (encode CPU included — each shard record is
+        serialized by its own lane), while the channel still accounts the
+        full wire bytes.  Storage-fault overhead applies once per
+        *logical* record, like the unsharded path.  ``shards == 1``
+        delegates to the base arithmetic unchanged (bit-stable).
+        """
+        if self.shards <= 1:
+            return super()._persist_cost(nbytes)
+        wire_nbytes = nbytes / self.codec_ratio
+        resource, duration = self._persist_channel()
+        lanes = min(self.shard_concurrency, self.shards)
+        waves = -(-self.shards // lanes)  # ceil division
+        per_shard_s = (duration(wire_nbytes / self.shards)
+                       + self._codec_encode_s(nbytes / self.shards))
+        time_s = waves * per_shard_s
+        if self.storage_faults is not None:
+            extra = self.storage_faults.persist_overhead_s(time_s)
+            self.persist_retry_time_s += extra
+            time_s += extra
+            self.count("persist_faulted")
+        return resource, wire_nbytes, time_s
 
     def next_event(self, index: int) -> int | None:
         return min(self._next_multiple_event(index, self.diff_every),

@@ -25,6 +25,7 @@ from repro.storage.backends import (
     ThrottledBackend,
     FlakyBackend,
     ChaosBackend,
+    PrefixBackend,
     backend_from_spec,
 )
 from repro.storage.resilience import (
@@ -68,6 +69,17 @@ from repro.storage.mp_engine import (
     ShmRing,
     SubmitTimeout,
     WorkerCrashed,
+)
+from repro.storage.sharded import (
+    ShardLayout,
+    ShardedChainCompactor,
+    ShardedCheckpointStore,
+    ShardedDiffView,
+    ShardedFullView,
+    ShardedPersistGroup,
+    elastic_restore,
+    sharded_parallel_recover,
+    sharded_serial_recover,
 )
 
 __all__ = [
@@ -116,4 +128,14 @@ __all__ = [
     "WorkerCrashed",
     "backend_from_spec",
     "pack_tree_into_view",
+    "PrefixBackend",
+    "ShardLayout",
+    "ShardedChainCompactor",
+    "ShardedCheckpointStore",
+    "ShardedDiffView",
+    "ShardedFullView",
+    "ShardedPersistGroup",
+    "elastic_restore",
+    "sharded_parallel_recover",
+    "sharded_serial_recover",
 ]

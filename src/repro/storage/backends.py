@@ -218,6 +218,61 @@ class LocalDiskBackend(StorageBackend):
         return purged
 
 
+class PrefixBackend(StorageBackend):
+    """A key-prefix view over another backend.
+
+    The sharded checkpoint store gives each shard its own
+    :class:`~repro.storage.checkpoint_store.CheckpointStore` over
+    ``PrefixBackend(backend, "shard-0003/")`` — every shard sees a plain
+    private namespace (``full/…``, ``diff/…``, ``manifest.json``) while
+    all records land in one physical store under one root.  Reads,
+    writes, listing and debris sweeps translate keys both ways;
+    accounting stays on the wrapping view *and* the parent (the parent's
+    ``write``/``read`` are called, so its counters and any fault
+    injection wrapped around it apply to sharded traffic too).
+    """
+
+    def __init__(self, inner: StorageBackend, prefix: str):
+        super().__init__()
+        if not prefix or not prefix.endswith("/"):
+            raise ValueError(f"prefix must be non-empty and end with '/', "
+                             f"got {prefix!r}")
+        self.inner = inner
+        self.prefix = prefix
+
+    @property
+    def thread_safe_reads(self) -> bool:  # delegate, not a class constant
+        return getattr(self.inner, "thread_safe_reads", False)
+
+    def _write(self, key: str, data: bytes) -> None:
+        self.inner.write(self.prefix + key, data)
+
+    def _read(self, key: str) -> bytes:
+        return self.inner.read(self.prefix + key)
+
+    def exists(self, key: str) -> bool:
+        return self.inner.exists(self.prefix + key)
+
+    def delete(self, key: str) -> None:
+        self.inner.delete(self.prefix + key)
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        skip = len(self.prefix)
+        return [key[skip:] for key in self.inner.list_keys(self.prefix + prefix)]
+
+    def purge_debris(self) -> int:
+        # The parent sweeps the whole tree; per-shard views must not each
+        # re-trigger a global sweep, so debris under this prefix is handled
+        # by whoever owns the parent (the sharded store's own gc).
+        return 0
+
+    def process_safe_spec(self) -> tuple | None:
+        inner_spec = self.inner.process_safe_spec()
+        if inner_spec is None:
+            return None
+        return ("prefix", self.prefix, inner_spec)
+
+
 def backend_from_spec(spec: tuple) -> StorageBackend:
     """Re-open a backend from a :meth:`StorageBackend.process_safe_spec`.
 
@@ -228,6 +283,8 @@ def backend_from_spec(spec: tuple) -> StorageBackend:
     kind = spec[0]
     if kind == "local_disk":
         return LocalDiskBackend(spec[1])
+    if kind == "prefix":
+        return PrefixBackend(backend_from_spec(spec[2]), spec[1])
     raise ValueError(f"unknown process-safe backend spec: {spec!r}")
 
 

@@ -1,0 +1,627 @@
+"""Sharded differential checkpointing, elastic restore, and the ZeRO
+trainer fixes that make sharding exercisable in a degraded world.
+
+Covers the PR-10 acceptance surface:
+
+* per-shard full/diff chains round-trip bit-exactly and recover (serial
+  and parallel) bit-identical to the unsharded store over the same run;
+* a checkpoint written at world size 4 restores bit-exactly onto world
+  sizes 2 and 8 (elastic restore over the stable global index space);
+* per-shard chains stay aligned and bounded under coordinated
+  retention/compaction;
+* a crash between shard commits leaves the partial record set invisible
+  (manifest-intersection crash consistency), including a seeded chaos
+  drill;
+* the ZeRO trainer routes through the collective gates pre-mutation,
+  re-derives shard ownership over the *active* ranks on membership
+  changes, and applies owned updates through the fused ``step_with``
+  kernels.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.compression import TopKCompressor
+from repro.core import CheckpointConfig, LowDiffCheckpointer
+from repro.core.recovery import parallel_recover, serial_recover
+from repro.distributed import (
+    DataParallelTrainer,
+    SyntheticClassification,
+    ZeroDataParallelTrainer,
+)
+from repro.optim import Adam, Optimizer
+from repro.storage import (
+    CheckpointStore,
+    InMemoryBackend,
+    LocalDiskBackend,
+    RetentionPolicy,
+    ShardedCheckpointStore,
+    ShardLayout,
+    elastic_restore,
+    sharded_parallel_recover,
+    sharded_serial_recover,
+)
+from repro.storage.sharded import ShardedChainCompactor, ShardedPersistGroup
+from repro.tensor.loss import CrossEntropyLoss
+from repro.tensor.models import MLP
+from repro.utils.rng import Rng
+from tests.helpers import assert_optimizers_equal, assert_states_equal
+
+#: Default seeds exercised on every run; CI's chaos job appends more via
+#: the CHAOS_SEED environment variable.
+CHAOS_SEEDS = [11, 29, 47]
+if os.environ.get("CHAOS_SEED"):
+    CHAOS_SEEDS = CHAOS_SEEDS + [int(os.environ["CHAOS_SEED"])]
+
+
+def fresh_model_opt(seed=0):
+    model = MLP(6, [8], 3, rng=Rng(seed))
+    return model, Adam(model, lr=1e-2)
+
+
+def populate(store, model, optimizer, steps=7, batch=1, seed=42):
+    """Simulate training against ``store``: full at 0, diffs per step."""
+    compressor = TopKCompressor(0.5)
+    rng = Rng(seed)
+    store.save_full(0, model.state_dict(), optimizer.state_dict())
+    pending = []
+    for step in range(1, steps + 1):
+        grads = {name: rng.child("g", step, name).normal(size=p.shape)
+                 for name, p in model.named_parameters()}
+        payload = compressor.compress(grads)
+        optimizer.step_with(payload.decompress())
+        pending.append((step, payload))
+        if len(pending) == batch:
+            merged = pending[0][1]
+            for _, item in pending[1:]:
+                merged = merged.add(item)
+            store.save_diff(pending[0][0], pending[-1][0], merged,
+                            count=len(pending))
+            pending = []
+    return model.state_dict(), optimizer.state_dict()
+
+
+def build_zero(num_workers=2, rho=0.1, seed=7):
+    return ZeroDataParallelTrainer(
+        model_builder=lambda rank: MLP(8, [16, 16], 4, rng=Rng(seed)),
+        optimizer_builder=lambda m: Adam(m, lr=1e-3),
+        loss_fn=CrossEntropyLoss(),
+        dataset=SyntheticClassification(8, 4, batch_size=4, seed=seed + 1),
+        num_workers=num_workers,
+        compressor_builder=(lambda: TopKCompressor(rho)) if rho else None,
+    )
+
+
+def build_plain(num_workers=2, rho=0.1, seed=7):
+    return DataParallelTrainer(
+        model_builder=lambda rank: MLP(8, [16, 16], 4, rng=Rng(seed)),
+        optimizer_builder=lambda m: Adam(m, lr=1e-3),
+        loss_fn=CrossEntropyLoss(),
+        dataset=SyntheticClassification(8, 4, batch_size=4, seed=seed + 1),
+        num_workers=num_workers,
+        compressor_builder=(lambda: TopKCompressor(rho)) if rho else None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sharded store round trip
+# ---------------------------------------------------------------------------
+
+class TestShardedStoreRoundTrip:
+    @pytest.mark.parametrize("shards", [2, 3, 5])
+    def test_full_roundtrip_bit_exact(self, shards):
+        model, optimizer = fresh_model_opt()
+        store = ShardedCheckpointStore(InMemoryBackend(), shards=shards)
+        store.save_full(4, model.state_dict(), optimizer.state_dict())
+        model_state, opt_state, step = store.load_full(store.latest_full())
+        assert step == 4
+        assert_states_equal(model_state, model.state_dict())
+        assert_optimizers_equal(opt_state, optimizer.state_dict())
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_diff_roundtrip_bit_exact(self, shards):
+        model, optimizer = fresh_model_opt()
+        store = ShardedCheckpointStore(InMemoryBackend(), shards=shards)
+        populate(store, model, optimizer, steps=3)
+        reference = ShardedCheckpointStore(InMemoryBackend(), shards=1)
+        model, optimizer = fresh_model_opt()
+        populate(reference, model, optimizer, steps=3)
+        for view, ref_view in zip(store.diffs_after(0),
+                                  reference.diffs_after(0)):
+            payload = store.load_diff(view)
+            ref_payload = reference.load_diff(ref_view)
+            for name in payload.shapes:
+                np.testing.assert_array_equal(
+                    payload.entries[name][0], ref_payload.entries[name][0])
+                np.testing.assert_array_equal(
+                    payload.entries[name][1], ref_payload.entries[name][1])
+
+    def test_dense_payload_rejected(self):
+        store = ShardedCheckpointStore(InMemoryBackend(), shards=2)
+        with pytest.raises(TypeError, match="sparse"):
+            store.save_diff(1, 1, {"w": np.ones(3)})
+
+    def test_layout_survives_reopen(self, tmp_path):
+        backend = LocalDiskBackend(tmp_path)
+        model, optimizer = fresh_model_opt()
+        store = ShardedCheckpointStore(backend, shards=3)
+        populate(store, model, optimizer, steps=2)
+        reopened = ShardedCheckpointStore(LocalDiskBackend(tmp_path), shards=3)
+        assert reopened.latest_full().step == 0
+        assert len(reopened.diffs_after(0)) == 2
+        model_state, _, _ = reopened.load_full(reopened.latest_full())
+        assert set(model_state) == set(model.state_dict())
+
+    def test_shard_count_mismatch_rejected(self):
+        backend = InMemoryBackend()
+        model, optimizer = fresh_model_opt()
+        store = ShardedCheckpointStore(backend, shards=3)
+        populate(store, model, optimizer, steps=1)
+        with pytest.raises(ValueError, match="3 shards"):
+            ShardedCheckpointStore(backend, shards=4)
+
+    def test_layout_partition_covers_index_space(self):
+        shapes = {"a": (4, 5), "b": (3,), "c": (2, 2, 2)}
+        layout = ShardLayout(shapes, 3)
+        assert layout.total == 31
+        assert layout.bounds[0][0] == 0
+        assert layout.bounds[-1][1] == layout.total
+        for (_, hi), (lo, _) in zip(layout.bounds, layout.bounds[1:]):
+            assert hi == lo  # contiguous, gap-free
+
+    def test_obs_metrics_emitted(self):
+        model, optimizer = fresh_model_opt()
+        with obs.capture() as active:
+            store = ShardedCheckpointStore(InMemoryBackend(), shards=3)
+            populate(store, model, optimizer, steps=2)
+            assert active.registry.counter("ckpt.shard.full_records").value == 3
+            assert active.registry.counter("ckpt.shard.diff_records").value == 6
+            assert active.registry.counter("ckpt.shard.bytes").value > 0
+
+
+# ---------------------------------------------------------------------------
+# Recovery equivalence with the unsharded path
+# ---------------------------------------------------------------------------
+
+class TestShardedRecoveryEquivalence:
+    def _reference(self, steps=7, batch=1):
+        store = CheckpointStore(InMemoryBackend())
+        model, optimizer = fresh_model_opt()
+        populate(store, model, optimizer, steps=steps, batch=batch)
+        return store
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_serial_matches_unsharded(self, shards):
+        ref_store = self._reference()
+        ref_model, ref_opt = fresh_model_opt(seed=9)
+        serial_recover(ref_store, ref_model, ref_opt)
+
+        store = ShardedCheckpointStore(InMemoryBackend(), shards=shards)
+        model, optimizer = fresh_model_opt()
+        populate(store, model, optimizer)
+        target_model, target_opt = fresh_model_opt(seed=9)
+        result = sharded_serial_recover(store, target_model, target_opt)
+        assert result.step == 7
+        assert_states_equal(target_model.state_dict(), ref_model.state_dict())
+        assert_optimizers_equal(target_opt.state_dict(), ref_opt.state_dict())
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("batch", [1, 2])
+    def test_parallel_matches_unsharded(self, shards, batch):
+        """Per-shard merge trees have the unsharded tree's shape, so the
+        parallel paths agree bit-for-bit — including batched records."""
+        store = CheckpointStore(InMemoryBackend())
+        model, optimizer = fresh_model_opt()
+        populate(store, model, optimizer, batch=batch)
+        ref_model, ref_opt = fresh_model_opt(seed=9)
+        ref_result = parallel_recover(store, ref_model, ref_opt)
+
+        sharded = ShardedCheckpointStore(InMemoryBackend(), shards=shards)
+        model, optimizer = fresh_model_opt()
+        populate(sharded, model, optimizer, batch=batch)
+        target_model, target_opt = fresh_model_opt(seed=9)
+        result = sharded_parallel_recover(sharded, target_model, target_opt)
+        assert result.step == ref_result.step
+        assert result.gradients_replayed == ref_result.gradients_replayed
+        assert_states_equal(target_model.state_dict(), ref_model.state_dict())
+        assert_optimizers_equal(target_opt.state_dict(), ref_opt.state_dict())
+
+    def test_parallel_merge_fans_out_per_shard(self):
+        store = ShardedCheckpointStore(InMemoryBackend(), shards=4)
+        model, optimizer = fresh_model_opt()
+        populate(store, model, optimizer, steps=8)
+        target_model, target_opt = fresh_model_opt(seed=9)
+        result = sharded_parallel_recover(store, target_model, target_opt)
+        # 8 leaves per shard → 7 merges per shard × 4 shards, one apply.
+        assert result.merge_ops == 7 * 4
+        assert result.apply_ops == 1
+
+
+# ---------------------------------------------------------------------------
+# Elastic restore: written at N, recovered onto M
+# ---------------------------------------------------------------------------
+
+class TestElasticRestore:
+    def _train_world4(self, shards=4, iterations=12):
+        trainer = build_zero(num_workers=4)
+        store = CheckpointStore(InMemoryBackend())
+        checkpointer = LowDiffCheckpointer(
+            store, CheckpointConfig(full_every_iters=6, batch_size=1,
+                                    shards=shards))
+        checkpointer.attach(trainer)
+        trainer.run(iterations)
+        checkpointer.finalize()
+        return trainer, checkpointer
+
+    @pytest.mark.parametrize("world", [2, 8])
+    def test_restore_onto_other_world_size(self, world):
+        trainer, checkpointer = self._train_world4()
+        reference_model = trainer.model_state()
+        reference_opt = trainer.optimizer_state()
+
+        target = build_zero(num_workers=world, seed=1)
+        result = elastic_restore(checkpointer.store, target)
+        assert result.step == 12
+        assert target.iteration == 12
+        assert_states_equal(target.model_state(), reference_model)
+        assert_optimizers_equal(target.optimizer_state(), reference_opt)
+        assert target.replicas_consistent()
+
+    def test_restored_world_sizes_agree(self):
+        """The restore is world-size independent: M=2 and M=8 land on the
+        identical state, bit for bit."""
+        _, checkpointer = self._train_world4()
+        small = build_zero(num_workers=2, seed=1)
+        large = build_zero(num_workers=8, seed=2)
+        elastic_restore(checkpointer.store, small)
+        elastic_restore(checkpointer.store, large, parallel=True)
+        assert_states_equal(small.model_state(), large.model_state())
+        assert_optimizers_equal(small.optimizer_state(),
+                                large.optimizer_state())
+
+    def test_restored_training_continues_consistently(self):
+        trainer, checkpointer = self._train_world4()
+        target = build_zero(num_workers=2, seed=1)
+        elastic_restore(checkpointer.store, target)
+        target.run(4)
+        assert target.iteration == 16
+        assert target.replicas_consistent()
+
+
+# ---------------------------------------------------------------------------
+# Per-shard retention/compaction
+# ---------------------------------------------------------------------------
+
+class TestPerShardCompaction:
+    def test_chains_stay_aligned_and_bounded(self):
+        store = ShardedCheckpointStore(InMemoryBackend(), shards=3)
+        group = ShardedPersistGroup(store, writer_threads=2)
+        policy = RetentionPolicy(keep_fulls=2, max_chain_len=4, compact_run=2)
+        compactor = ShardedChainCompactor(store, policy, engine=group)
+
+        model, optimizer = fresh_model_opt()
+        compressor = TopKCompressor(0.5)
+        rng = Rng(7)
+        group.save_full(0, model.state_dict(), optimizer.state_dict())
+        for step in range(1, 13):
+            grads = {name: rng.child("g", step, name).normal(size=p.shape)
+                     for name, p in model.named_parameters()}
+            payload = compressor.compress(grads)
+            optimizer.step_with(payload.decompress())
+            group.save_diff(step, step, payload, count=1)
+            compactor.maybe_enforce()
+        group.finalize()
+        compactor.enforce()
+
+        lens = [len(sub.diffs()) for sub in store.shard_stores]
+        assert len(set(lens)) == 1, f"shard chains diverged: {lens}"
+        chain = store.diffs_after(store.latest_full().step)
+        assert len(chain) == lens[0]
+        assert len(chain) <= policy.max_chain_len
+        # The compacted chain still replays to the live state exactly
+        # (compaction merges whole runs — same fold recovery performs).
+        target_model, target_opt = fresh_model_opt(seed=5)
+        result = sharded_serial_recover(store, target_model, target_opt)
+        assert result.step == 12
+
+    def test_checkpointer_retention_bounds_sharded_chain(self):
+        trainer = build_zero(num_workers=2)
+        store = CheckpointStore(InMemoryBackend())
+        checkpointer = LowDiffCheckpointer(
+            store,
+            CheckpointConfig(full_every_iters=20, batch_size=1, shards=4),
+            retention=RetentionPolicy(keep_fulls=2, max_chain_len=6,
+                                      compact_run=3),
+        )
+        checkpointer.attach(trainer)
+        trainer.run(15)
+        checkpointer.finalize()
+        chain = checkpointer.store.diffs_after(
+            checkpointer.store.latest_full().step)
+        assert len(chain) <= 6
+        model, optimizer = fresh_model_opt_for_trainer()
+        result = checkpointer.recover(model, optimizer)
+        assert result.step == 15
+
+
+def fresh_model_opt_for_trainer(seed=99):
+    model = MLP(8, [16, 16], 4, rng=Rng(seed))
+    return model, Adam(model, lr=1e-3)
+
+
+# ---------------------------------------------------------------------------
+# Crash consistency: partial shard commits are invisible
+# ---------------------------------------------------------------------------
+
+class TestCrashMidShardCommit:
+    def test_partial_full_commit_invisible(self):
+        store = ShardedCheckpointStore(InMemoryBackend(), shards=3)
+        model, optimizer = fresh_model_opt()
+        populate(store, model, optimizer, steps=2)
+        # Crash mid-commit: the step-9 full reaches shards 0 and 1 only.
+        layout = store.layout
+        for shard in (0, 1):
+            shard_model, shard_opt = layout.slice_full(
+                model.state_dict(), optimizer.state_dict(), shard)
+            store.shard_stores[shard].save_full(9, shard_model, shard_opt)
+        assert [v.step for v in store.fulls()] == [0]
+        assert store.latest_full().step == 0
+        # Recovery ignores the torso and lands on the committed state.
+        target_model, target_opt = fresh_model_opt(seed=9)
+        result = sharded_serial_recover(store, target_model, target_opt)
+        assert result.full_step == 0
+        assert result.step == 2
+
+    def test_partial_diff_commit_truncates_chain(self):
+        store = ShardedCheckpointStore(InMemoryBackend(), shards=3)
+        model, optimizer = fresh_model_opt()
+        populate(store, model, optimizer, steps=3)
+        committed_model = {k: v.copy() for k, v in model.state_dict().items()}
+        # Step 4's diff reaches shard 0 only.
+        compressor = TopKCompressor(0.5)
+        grads = {name: Rng(1).child("g", name).normal(size=p.shape)
+                 for name, p in model.named_parameters()}
+        payload = compressor.compress(grads)
+        store.shard_stores[0].save_diff(
+            4, 4, store.layout.slice_payload(payload, 0), count=1)
+        chain = store.diffs_after(0)
+        assert [(v.start, v.end) for v in chain] == [(1, 1), (2, 2), (3, 3)]
+        target_model, target_opt = fresh_model_opt(seed=9)
+        result = sharded_serial_recover(store, target_model, target_opt)
+        assert result.step == 3
+        assert_states_equal(target_model.state_dict(), committed_model)
+
+    def test_gc_sweeps_partial_records(self):
+        store = ShardedCheckpointStore(InMemoryBackend(), shards=2)
+        model, optimizer = fresh_model_opt()
+        populate(store, model, optimizer, steps=1)
+        shard_model, shard_opt = store.layout.slice_full(
+            model.state_dict(), optimizer.state_dict(), 0)
+        store.shard_stores[0].save_full(5, shard_model, shard_opt)
+        assert len(store.shard_stores[0].fulls()) == 2
+        store.gc(keep_fulls=1)
+        # The partial step-5 tip must not consume shard 0's retention slot
+        # and evict the committed step-0 full: the readable view survives.
+        assert store.latest_full().step == 0
+        # The partial itself is retained too — a retried commit at step 5
+        # would complete the shard set rather than start over.
+        assert {r.step for r in store.shard_stores[0].fulls()} == {0, 5}
+
+    @pytest.mark.chaos
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_seeded_crash_drill(self, seed):
+        """Seeded drill: training persists sharded checkpoints, a crash
+        interrupts a multi-shard commit at a seed-chosen step and shard
+        boundary, recovery restores the newest *fully committed* state
+        bit-exactly."""
+        rng = Rng(seed)
+        shards = 2 + int(rng.child("shards").integers(0, 3))  # 2..4
+        store = ShardedCheckpointStore(InMemoryBackend(), shards=shards)
+        model, optimizer = fresh_model_opt(seed=seed)
+        compressor = TopKCompressor(0.5)
+        snapshots = {}
+        store.save_full(0, model.state_dict(), optimizer.state_dict())
+        steps = 6
+        for step in range(1, steps + 1):
+            grads = {name: rng.child("g", step, name).normal(size=p.shape)
+                     for name, p in model.named_parameters()}
+            payload = compressor.compress(grads)
+            optimizer.step_with(payload.decompress())
+            store.save_diff(step, step, payload, count=1)
+            snapshots[step] = {k: v.copy()
+                               for k, v in model.state_dict().items()}
+        # Crash mid-commit of step 7: a seed-chosen prefix of shards gets
+        # the record, the rest never do.
+        grads = {name: rng.child("g", steps + 1, name).normal(size=p.shape)
+                 for name, p in model.named_parameters()}
+        payload = compressor.compress(grads)
+        committed_shards = int(rng.child("cut").integers(1, shards))
+        for shard in range(committed_shards):
+            store.shard_stores[shard].save_diff(
+                steps + 1, steps + 1,
+                store.layout.slice_payload(payload, shard), count=1)
+
+        reopened = ShardedCheckpointStore(store.backend, shards=shards)
+        target_model, target_opt = fresh_model_opt(seed=seed + 1)
+        result = sharded_serial_recover(reopened, target_model, target_opt)
+        assert result.step == steps
+        assert_states_equal(target_model.state_dict(), snapshots[steps])
+
+
+# ---------------------------------------------------------------------------
+# ZeRO trainer fixes
+# ---------------------------------------------------------------------------
+
+class TestZeroCollectiveGate:
+    def test_gate_fires_every_iteration(self):
+        trainer = build_zero()
+        seen = []
+        trainer.register_collective_gate(seen.append)
+        trainer.run(5)
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_gate_abort_is_pre_mutation(self):
+        """A gate abort (the supervisor fencing a failed collective) must
+        leave model and optimizer untouched — the gate runs before any
+        rank applies the update."""
+        trainer = build_zero()
+        trainer.run(3)
+        before_model = {k: v.copy() for k, v in trainer.model_state().items()}
+        before_opt = trainer.optimizer_state()
+
+        def gate(iteration):
+            raise RuntimeError("collective fenced")
+
+        trainer.register_collective_gate(gate)
+        with pytest.raises(RuntimeError, match="fenced"):
+            trainer.step()
+        assert_states_equal(trainer.model_state(), before_model)
+        assert_optimizers_equal(trainer.optimizer_state(), before_opt)
+
+
+class TestZeroDegradedWorld:
+    def test_matches_plain_trainer_through_membership_changes(self):
+        """The degraded-world trajectory of the ZeRO trainer is
+        bit-identical to the plain data-parallel trainer's: ownership
+        re-partitions over the active ranks, so every surviving rank's
+        update covers exactly the full parameter space."""
+        zero = build_zero(num_workers=3)
+        plain = build_plain(num_workers=3)
+        for trainer in (zero, plain):
+            trainer.run(4)
+            trainer.deactivate_worker(1)
+            trainer.run(4)
+            trainer.reactivate_worker(1)
+            trainer.run(4)
+        assert_states_equal(zero.model_state(), plain.model_state())
+        assert zero.replicas_consistent()
+
+    def test_owners_cover_only_active_ranks(self):
+        trainer = build_zero(num_workers=3)
+        trainer.run(2)
+        trainer.deactivate_worker(0)
+        owners = set(trainer._owners.values())
+        assert owners <= {1, 2}
+        covered = set()
+        for rank in (1, 2):
+            covered |= set(trainer.owned_names(rank))
+        assert covered == set(trainer.optimizer.param_names)
+        trainer.run(2)
+        assert trainer.replicas_consistent()
+
+    def test_shard_handoff_preserves_moments(self):
+        """A dropped owner's Adam moments migrate to the new owner, so the
+        degraded update continues from the true optimizer state rather
+        than stale or zeroed moments."""
+        trainer = build_zero(num_workers=2)
+        trainer.run(3)
+        migrated = {
+            name: {k: v.copy() for k, v in
+                   trainer.workers[owner].optimizer._slots(name).items()}
+            for name, owner in trainer._owners.items()
+        }
+        dropped = trainer._owners[next(iter(trainer._owners))]
+        trainer.deactivate_worker(dropped)
+        survivor = trainer.active_ranks[0]
+        for name, slots in migrated.items():
+            live = trainer.workers[survivor].optimizer._slots(name)
+            for key, value in slots.items():
+                np.testing.assert_array_equal(live[key], value, err_msg=name)
+
+    def test_optimizer_state_assembles_from_owners(self):
+        trainer = build_zero(num_workers=3)
+        trainer.run(5)
+        assembled = trainer.optimizer_state()
+        for name, owner in trainer._owners.items():
+            live = trainer.workers[owner].optimizer._slots(name)
+            for key, value in live.items():
+                np.testing.assert_array_equal(
+                    assembled["slots"][name][key], value, err_msg=name)
+
+
+class TestZeroFusedPath:
+    def test_owned_updates_use_fused_kernels(self, monkeypatch):
+        """The owned-shard update must route through ``step_with``'s fused
+        path, never the per-parameter reference kernel."""
+        def boom(self, name, param, grad):
+            raise AssertionError("reference kernel used on the ZeRO path")
+
+        monkeypatch.setattr(Adam, "_update_param", boom)
+        trainer = build_zero()
+        trainer.run(3)  # would raise if any rank fell back to _update_param
+        assert trainer.replicas_consistent()
+
+    def test_fused_and_reference_agree_on_zero_path(self):
+        fused = build_zero()
+        fused.run(8)
+        reference = build_zero()
+        for worker in reference.workers:
+            worker.optimizer.fused = False
+        reference.run(8)
+        assert_states_equal(fused.model_state(), reference.model_state())
+        assert_optimizers_equal(fused.optimizer_state(),
+                                reference.optimizer_state())
+
+    def test_subset_step_validates_names(self):
+        model, optimizer = fresh_model_opt()
+        grads = {name: np.zeros(p.shape)
+                 for name, p in model.named_parameters()}
+        with pytest.raises(KeyError, match="unknown"):
+            optimizer.step_with(grads, names=["nope"])
+        some = next(iter(grads))
+        with pytest.raises(KeyError, match="missing"):
+            optimizer.step_with({}, names=[some])
+
+    def test_subset_step_advances_counter_once(self):
+        model, optimizer = fresh_model_opt()
+        grads = {name: np.zeros(p.shape)
+                 for name, p in model.named_parameters()}
+        optimizer.step_with(grads, names=[next(iter(grads))])
+        assert optimizer.step_count == 1
+
+
+# ---------------------------------------------------------------------------
+# ZeRO + sharded checkpointing end to end
+# ---------------------------------------------------------------------------
+
+class TestZeroShardedEndToEnd:
+    def test_sharded_recovery_matches_live_zero_state(self):
+        trainer = build_zero(num_workers=4)
+        store = CheckpointStore(InMemoryBackend())
+        checkpointer = LowDiffCheckpointer(
+            store, CheckpointConfig(full_every_iters=5, batch_size=1,
+                                    shards=4))
+        checkpointer.attach(trainer)
+        trainer.run(11)
+        checkpointer.finalize()
+        assert isinstance(checkpointer.store, ShardedCheckpointStore)
+        model, optimizer = fresh_model_opt_for_trainer()
+        result = checkpointer.recover(model, optimizer, parallel=True)
+        assert result.step == 11
+        assert_states_equal(model.state_dict(), trainer.model_state())
+        assert_optimizers_equal(optimizer.state_dict(),
+                                trainer.optimizer_state())
+
+    def test_sharded_matches_unsharded_checkpointer(self):
+        def run(shards):
+            trainer = build_zero(num_workers=2)
+            checkpointer = LowDiffCheckpointer(
+                CheckpointStore(InMemoryBackend()),
+                CheckpointConfig(full_every_iters=5, batch_size=1,
+                                 shards=shards))
+            checkpointer.attach(trainer)
+            trainer.run(9)
+            checkpointer.finalize()
+            model, optimizer = fresh_model_opt_for_trainer()
+            checkpointer.recover(model, optimizer)
+            return model, optimizer
+
+        sharded_model, sharded_opt = run(3)
+        plain_model, plain_opt = run(1)
+        assert_states_equal(sharded_model.state_dict(),
+                            plain_model.state_dict())
+        assert_optimizers_equal(sharded_opt.state_dict(),
+                                plain_opt.state_dict())
